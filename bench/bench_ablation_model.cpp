@@ -1,0 +1,89 @@
+// Ablation: robustness of the paper's conclusions to the power-model
+// parameters. The hardware substitution (DESIGN.md) makes the leakage
+// weights knobs; this bench sweeps the ones that could plausibly change the
+// story and verifies the *shape* results survive:
+//   - sign recovery ~100% across every setting (control flow dominates),
+//   - negatives recovered better than positives wherever values leak,
+//   - weaker data weights degrade values but never the branch leak.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/attack.hpp"
+#include "sca/report.hpp"
+
+using namespace reveal;
+using namespace reveal::core;
+
+namespace {
+
+struct Row {
+  const char* name;
+  double w_hw;
+  double w_mem;
+  double bit_deviation;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  bench::print_header(
+      "Ablation: leakage-model parameters",
+      "Attack-quality shape vs the power-model knobs (the hardware\n"
+      "substitution's free parameters).");
+
+  const Row rows[] = {
+      {"default (w_hw .15, w_mem .25, dev .08)", 0.15, 0.25, 0.08},
+      {"half data weights", 0.075, 0.125, 0.08},
+      {"double data weights", 0.30, 0.50, 0.08},
+      {"no per-bit spread (pure HW)", 0.15, 0.25, 0.0},
+      {"strong per-bit spread", 0.15, 0.25, 0.25},
+      {"memory bus only (w_hw = 0)", 0.0, 0.25, 0.08},
+  };
+
+  const std::size_t profile_runs = quick ? 80 : 200;
+  const std::size_t attack_runs = quick ? 10 : 25;
+
+  std::printf("\n%-42s %9s %9s %9s %9s\n", "model", "sign %", "zero %", "neg %",
+              "pos %");
+  for (const Row& row : rows) {
+    CampaignConfig cfg = bench::default_campaign(64);
+    cfg.leakage.w_hw = row.w_hw;
+    cfg.leakage.w_mem = row.w_mem;
+    cfg.leakage.bit_deviation = row.bit_deviation;
+    SamplerCampaign campaign(cfg);
+    RevealAttack attack;
+    attack.train(campaign.collect_windows(profile_runs, /*seed_base=*/1));
+
+    sca::ConfusionMatrix cm;
+    std::size_t sign_ok = 0, total = 0;
+    for (std::uint64_t seed = 50000; seed < 50000 + attack_runs; ++seed) {
+      const FullCapture cap = campaign.capture(seed);
+      if (cap.segments.size() != cfg.n) continue;
+      const auto guesses = attack.attack_capture(cap);
+      for (std::size_t i = 0; i < guesses.size(); ++i) {
+        cm.add(static_cast<std::int32_t>(cap.noise[i]), guesses[i].value);
+        const int truth = cap.noise[i] > 0 ? 1 : (cap.noise[i] < 0 ? -1 : 0);
+        sign_ok += (guesses[i].sign == truth);
+        ++total;
+      }
+    }
+    double neg = 0.0, pos = 0.0;
+    for (int v = 1; v <= 6; ++v) {
+      neg += cm.accuracy(-v) / 6.0;
+      pos += cm.accuracy(v) / 6.0;
+    }
+    std::printf("%-42s %9.1f %9.1f %9.1f %9.1f\n", row.name,
+                100.0 * static_cast<double>(sign_ok) / static_cast<double>(total),
+                cm.accuracy(0), neg, pos);
+  }
+
+  std::printf(
+      "\nexpected shape (and the paper's conclusions) under every model:\n"
+      "  sign/zero ~100%% (control-flow leak needs no data model at all);\n"
+      "  negatives >= positives (the negation/store chain offers more\n"
+      "  leakage points); value accuracy scales with the data weights and\n"
+      "  the per-bit spread, exactly as a physical target's SNR would.\n");
+  return 0;
+}

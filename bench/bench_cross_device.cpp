@@ -1,0 +1,94 @@
+// Cross-device portability (paper §V-B): "We limit our attack to a single
+// device, cross-device attacks may need a more complicated, machine-
+// learning-based profiling [20]."
+//
+// Devices differ in their per-bit-line capacitances (the bit_weight_seed of
+// our leakage model). Profiling on device A and attacking device B keeps
+// everything the devices share — the control flow and the Hamming-weight
+// *class* structure — but destroys the per-bit fingerprints the templates
+// use to split values inside an HW class. Expectation: sign stays 100%,
+// value accuracy drops toward the HW-class ceiling.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/attack.hpp"
+#include "sca/report.hpp"
+
+using namespace reveal;
+using namespace reveal::core;
+
+namespace {
+
+struct Outcome {
+  double sign = 0.0;
+  double neg = 0.0;
+  double pos = 0.0;
+};
+
+Outcome attack_device(const RevealAttack& attack, std::uint64_t device_seed,
+                      std::size_t attack_runs) {
+  // Low-noise acquisition: the regime where per-bit fingerprints dominate
+  // the value templates (and where cross-device loss is visible).
+  CampaignConfig cfg = bench::lab_campaign(64);
+  cfg.leakage.bit_weight_seed = device_seed;
+  SamplerCampaign campaign(cfg);
+  sca::ConfusionMatrix cm;
+  std::size_t sign_ok = 0, total = 0;
+  for (std::uint64_t seed = 60000; seed < 60000 + attack_runs; ++seed) {
+    const FullCapture cap = campaign.capture(seed);
+    if (cap.segments.size() != cfg.n) continue;
+    const auto guesses = attack.attack_capture(cap);
+    for (std::size_t i = 0; i < guesses.size(); ++i) {
+      cm.add(static_cast<std::int32_t>(cap.noise[i]), guesses[i].value);
+      const int truth = cap.noise[i] > 0 ? 1 : (cap.noise[i] < 0 ? -1 : 0);
+      sign_ok += (guesses[i].sign == truth);
+      ++total;
+    }
+  }
+  Outcome out;
+  out.sign = 100.0 * static_cast<double>(sign_ok) / static_cast<double>(total);
+  for (int v = 1; v <= 6; ++v) {
+    out.neg += cm.accuracy(-v) / 6.0;
+    out.pos += cm.accuracy(v) / 6.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  bench::print_header(
+      "Cross-device portability (§V-B)",
+      "Templates profiled on device A, attacks on devices with different\n"
+      "per-bit-line capacitance fingerprints.");
+
+  const std::size_t profile_runs = quick ? 80 : 200;
+  const std::size_t attack_runs = quick ? 10 : 25;
+
+  // Profile on device A (the default fingerprint).
+  CampaignConfig profile_cfg = bench::lab_campaign(64);
+  SamplerCampaign profile_campaign(profile_cfg);
+  RevealAttack attack;
+  std::printf("\nprofiling on device A...\n");
+  attack.train(profile_campaign.collect_windows(profile_runs, /*seed_base=*/1));
+
+  std::printf("\n%-34s %10s %10s %10s\n", "target device", "sign %", "neg %", "pos %");
+  const Outcome same = attack_device(attack, profile_cfg.leakage.bit_weight_seed,
+                                     attack_runs);
+  std::printf("%-34s %10.1f %10.1f %10.1f\n", "A (same device)", same.sign, same.neg,
+              same.pos);
+  for (const std::uint64_t device : {0xD0E0BEEFULL, 0x12345678ULL}) {
+    const Outcome other = attack_device(attack, device, attack_runs);
+    std::printf("%-34s %10.1f %10.1f %10.1f\n", "B (different fingerprint)", other.sign,
+                other.neg, other.pos);
+  }
+
+  std::printf(
+      "\nreading: the sign (control-flow) leak transfers perfectly across\n"
+      "devices; value templates lose the per-bit fingerprint and fall back\n"
+      "to Hamming-weight-class resolution — consistent with the paper's\n"
+      "caveat that cross-device value recovery needs ML-style profiling.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Defense evaluation (paper §V-A): SEAL v3.6 replaced the if/else-if/else
+// sign assignment with a branch-free iterator expression. This bench runs
+// the identical attack pipeline against the vulnerable (v3.2) and patched
+// (v3.6-style) firmware and reports what survives.
+//
+// Expected outcome: the control-flow leak (vulnerability 1) and the
+// negation leak (vulnerability 3) disappear — zero detection and the
+// negative-value advantage collapse — while data-flow leakage
+// (vulnerability 2) remains, matching the paper's caution that "SEAL v3.6
+// and later versions may have a different vulnerability".
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/attack.hpp"
+#include "sca/report.hpp"
+
+using namespace reveal;
+using namespace reveal::core;
+
+namespace {
+
+struct Outcome {
+  double sign_accuracy = 0.0;
+  double zero_accuracy = 0.0;
+  double neg_accuracy = 0.0;  // mean over -6..-1
+  double pos_accuracy = 0.0;  // mean over 1..6
+};
+
+Outcome evaluate(bool patched, std::size_t profile_runs, std::size_t attack_runs) {
+  CampaignConfig cfg = bench::default_campaign(64);
+  cfg.patched_firmware = patched;
+  SamplerCampaign campaign(cfg);
+  RevealAttack attack;
+  attack.train(campaign.collect_windows(profile_runs, /*seed_base=*/1));
+
+  sca::ConfusionMatrix cm;
+  std::size_t sign_ok = 0, total = 0;
+  for (std::uint64_t seed = 90000; seed < 90000 + attack_runs; ++seed) {
+    const FullCapture cap = campaign.capture(seed);
+    if (cap.segments.size() != cfg.n) continue;
+    const auto guesses = attack.attack_capture(cap);
+    for (std::size_t i = 0; i < guesses.size(); ++i) {
+      cm.add(static_cast<std::int32_t>(cap.noise[i]), guesses[i].value);
+      const int truth = cap.noise[i] > 0 ? 1 : (cap.noise[i] < 0 ? -1 : 0);
+      sign_ok += (guesses[i].sign == truth);
+      ++total;
+    }
+  }
+  Outcome out;
+  out.sign_accuracy = 100.0 * static_cast<double>(sign_ok) / static_cast<double>(total);
+  out.zero_accuracy = cm.accuracy(0);
+  for (int v = 1; v <= 6; ++v) {
+    out.neg_accuracy += cm.accuracy(-v) / 6.0;
+    out.pos_accuracy += cm.accuracy(v) / 6.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  bench::print_header(
+      "Defense: SEAL v3.6-style patched sampler",
+      "Same attack pipeline against the vulnerable (v3.2) and the\n"
+      "branch-free (v3.6-style) firmware.");
+
+  const std::size_t profile_runs = quick ? 80 : 200;
+  const std::size_t attack_runs = quick ? 10 : 30;
+
+  std::printf("\nrunning against the vulnerable firmware...\n");
+  const Outcome vuln = evaluate(false, profile_runs, attack_runs);
+  std::printf("running against the patched firmware...\n");
+  const Outcome patched = evaluate(true, profile_runs, attack_runs);
+
+  std::printf("\n%-34s %14s %14s\n", "metric", "v3.2 (vuln)", "v3.6 (patched)");
+  std::printf("%-34s %14.1f %14.1f\n", "sign accuracy (%)", vuln.sign_accuracy,
+              patched.sign_accuracy);
+  std::printf("%-34s %14.1f %14.1f\n", "zero detection (%)", vuln.zero_accuracy,
+              patched.zero_accuracy);
+  std::printf("%-34s %14.1f %14.1f\n", "value accuracy, negatives (%)",
+              vuln.neg_accuracy, patched.neg_accuracy);
+  std::printf("%-34s %14.1f %14.1f\n", "value accuracy, positives (%)",
+              vuln.pos_accuracy, patched.pos_accuracy);
+
+  std::printf(
+      "\nreading: the patch removes the control-flow (branch) and negation\n"
+      "leaks; any residual sign/zero recovery on the patched firmware comes\n"
+      "from pure data-flow leakage of the stored value — the \"different\n"
+      "vulnerability\" the paper leaves for future work. Shuffling or\n"
+      "randomization would be needed to close that channel (§V-A).\n");
+  (void)argc;
+  (void)argv;
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Microbenchmarks of the core primitives (google-benchmark): NTT, BFV
+// encrypt/decrypt, the RISC-V victim simulation, trace segmentation,
+// template scoring and LLL — the cost profile of the whole reproduction.
+
+#include <benchmark/benchmark.h>
+
+#include "core/acquisition.hpp"
+#include "core/attack.hpp"
+#include "lattice/lattice.hpp"
+#include "numeric/rng.hpp"
+#include "sca/segmentation.hpp"
+#include "seal/decryptor.hpp"
+#include "seal/encryptor.hpp"
+#include "seal/keys.hpp"
+#include "seal/ntt.hpp"
+#include "seal/ntt_fast.hpp"
+
+using namespace reveal;
+
+namespace {
+
+void BM_NttForward1024(benchmark::State& state) {
+  const seal::Modulus q(132120577);
+  const seal::NttTables tables(1024, q);
+  num::Xoshiro256StarStar rng(1);
+  std::vector<std::uint64_t> poly(1024);
+  for (auto& v : poly) v = rng() % q.value();
+  for (auto _ : state) {
+    tables.forward_transform(poly.data());
+    benchmark::DoNotOptimize(poly.data());
+  }
+}
+BENCHMARK(BM_NttForward1024);
+
+void BM_NttInverse1024(benchmark::State& state) {
+  const seal::Modulus q(132120577);
+  const seal::NttTables tables(1024, q);
+  num::Xoshiro256StarStar rng(2);
+  std::vector<std::uint64_t> poly(1024);
+  for (auto& v : poly) v = rng() % q.value();
+  for (auto _ : state) {
+    tables.inverse_transform(poly.data());
+    benchmark::DoNotOptimize(poly.data());
+  }
+}
+BENCHMARK(BM_NttInverse1024);
+
+void BM_FastNttForward1024(benchmark::State& state) {
+  const seal::Modulus q(132120577);
+  const seal::FastNttTables tables(1024, q);
+  num::Xoshiro256StarStar rng(1);
+  std::vector<std::uint64_t> poly(1024);
+  for (auto& v : poly) v = rng() % q.value();
+  for (auto _ : state) {
+    tables.forward_transform(poly.data());
+    benchmark::DoNotOptimize(poly.data());
+  }
+}
+BENCHMARK(BM_FastNttForward1024);
+
+void BM_FastNttInverse1024(benchmark::State& state) {
+  const seal::Modulus q(132120577);
+  const seal::FastNttTables tables(1024, q);
+  num::Xoshiro256StarStar rng(2);
+  std::vector<std::uint64_t> poly(1024);
+  for (auto& v : poly) v = rng() % q.value();
+  for (auto _ : state) {
+    tables.inverse_transform(poly.data());
+    benchmark::DoNotOptimize(poly.data());
+  }
+}
+BENCHMARK(BM_FastNttInverse1024);
+
+void BM_BfvEncrypt1024(benchmark::State& state) {
+  const seal::Context ctx(seal::EncryptionParameters::seal_128_1024());
+  seal::StandardRandomGenerator rng(3);
+  const seal::KeyGenerator keygen(ctx, rng);
+  const seal::Encryptor encryptor(ctx, keygen.public_key());
+  const seal::Plaintext plain(std::vector<std::uint64_t>{1, 2, 3, 4, 5});
+  for (auto _ : state) {
+    auto ct = encryptor.encrypt(plain, rng);
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_BfvEncrypt1024);
+
+void BM_BfvDecrypt1024(benchmark::State& state) {
+  const seal::Context ctx(seal::EncryptionParameters::seal_128_1024());
+  seal::StandardRandomGenerator rng(4);
+  const seal::KeyGenerator keygen(ctx, rng);
+  const seal::Encryptor encryptor(ctx, keygen.public_key());
+  const seal::Decryptor decryptor(ctx, keygen.secret_key());
+  const auto ct = encryptor.encrypt(seal::Plaintext(std::uint64_t{42}), rng);
+  for (auto _ : state) {
+    auto plain = decryptor.decrypt(ct);
+    benchmark::DoNotOptimize(plain);
+  }
+}
+BENCHMARK(BM_BfvDecrypt1024);
+
+void BM_VictimSampling64(benchmark::State& state) {
+  const core::VictimProgram prog = core::build_sampler_firmware(64, {132120577ULL});
+  riscv::Machine machine(prog.memory_bytes);
+  std::uint32_t seed = 1;
+  for (auto _ : state) {
+    auto run = core::run_victim(prog, machine, seed++);
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_VictimSampling64);
+
+void BM_CaptureAndSegment(benchmark::State& state) {
+  core::CampaignConfig cfg;
+  cfg.n = 64;
+  core::SamplerCampaign campaign(cfg);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto cap = campaign.capture(seed++);
+    benchmark::DoNotOptimize(cap);
+  }
+}
+BENCHMARK(BM_CaptureAndSegment);
+
+void BM_AttackWindow(benchmark::State& state) {
+  core::CampaignConfig cfg;
+  cfg.n = 64;
+  core::SamplerCampaign campaign(cfg);
+  core::RevealAttack attack;
+  attack.train(campaign.collect_windows(60, 1));
+  const auto cap = campaign.capture(777);
+  const auto windows = core::windows_from_capture(cap);
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    auto guess = attack.attack_window(windows[idx % windows.size()].samples);
+    benchmark::DoNotOptimize(guess);
+    ++idx;
+  }
+}
+BENCHMARK(BM_AttackWindow);
+
+void BM_Lll12(benchmark::State& state) {
+  num::Xoshiro256StarStar rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    lattice::Basis basis(12, std::vector<std::int64_t>(12, 0));
+    for (std::size_t i = 0; i < 12; ++i) {
+      for (std::size_t j = 0; j < 12; ++j) basis[i][j] = rng.uniform_int(-50, 50);
+      basis[i][i] += 150;
+    }
+    state.ResumeTiming();
+    lattice::lll_reduce(basis);
+    benchmark::DoNotOptimize(basis);
+  }
+}
+BENCHMARK(BM_Lll12);
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Countermeasure evaluation (paper §V-A): "we encourage countermeasures
+// based on shuffling". The shuffled firmware samples coefficients in a
+// fresh Fisher-Yates order, so each per-window recovery stays as good as
+// ever — but the adversary no longer knows WHICH coefficient a window
+// belongs to. The multiset of e2 values is useless for Eq. (2)/(3) and
+// for positional DBDD hints.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/attack.hpp"
+#include "lwe/dbdd.hpp"
+
+using namespace reveal;
+using namespace reveal::core;
+
+namespace {
+
+/// log2 of the number of orderings consistent with a value multiset:
+/// log2(n! / prod count_v!) via lgamma.
+double log2_consistent_orderings(const std::vector<std::int64_t>& values) {
+  auto log2_factorial = [](double x) { return std::lgamma(x + 1.0) / std::log(2.0); };
+  double bits = log2_factorial(static_cast<double>(values.size()));
+  std::vector<std::int64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t run = 1;
+  for (std::size_t i = 1; i <= sorted.size(); ++i) {
+    if (i < sorted.size() && sorted[i] == sorted[i - 1]) {
+      ++run;
+    } else {
+      bits -= log2_factorial(static_cast<double>(run));
+      run = 1;
+    }
+  }
+  return bits;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Countermeasure: shuffling",
+      "Fisher-Yates shuffled sampling order (paper §V-A recommendation):\n"
+      "per-window leakage unchanged, coefficient positions hidden.");
+
+  constexpr std::size_t kN = 64;
+
+  // The adversary profiles an identical, fully controlled device — they can
+  // read the permutation on their OWN device, so labelled windows are
+  // available and the templates are as strong as against the unshuffled
+  // firmware.
+  CampaignConfig cfg = bench::default_campaign(kN);
+  cfg.shuffled_firmware = true;
+  SamplerCampaign campaign(cfg);
+  RevealAttack attack;
+  std::printf("\nprofiling on the (attacker-controlled) shuffled clone...\n");
+  attack.train(campaign.collect_windows(200, /*seed_base=*/1));
+
+  // Attack fresh shuffled traces: per-window recovery is evaluated against
+  // the slot ground truth the real adversary would NOT have.
+  std::size_t value_ok = 0, sign_ok = 0, total = 0;
+  std::vector<std::int64_t> last_noise;
+  for (std::uint64_t seed = 5000; seed < 5016; ++seed) {
+    const FullCapture cap = campaign.capture(seed);
+    if (cap.segments.size() != kN) continue;
+    const auto guesses = attack.attack_capture(cap);
+    for (std::size_t s = 0; s < guesses.size(); ++s) {
+      const int truth_sign = cap.noise[s] > 0 ? 1 : (cap.noise[s] < 0 ? -1 : 0);
+      sign_ok += (guesses[s].sign == truth_sign);
+      value_ok += (guesses[s].value == cap.noise[s]);
+      ++total;
+    }
+    last_noise = cap.noise;
+  }
+  std::printf("\nper-window recovery on shuffled traces (vs slot ground truth):\n");
+  std::printf("  sign : %zu/%zu (%.1f%%)   value: %zu/%zu (%.1f%%)\n", sign_ok, total,
+              100.0 * static_cast<double>(sign_ok) / static_cast<double>(total), value_ok,
+              total, 100.0 * static_cast<double>(value_ok) / static_cast<double>(total));
+
+  // But the adversary does not know the slot -> coefficient map.
+  const double order_bits = log2_consistent_orderings(last_noise);
+  std::printf("\nassignment ambiguity of one trace's value multiset (n = %zu): "
+              "2^%.1f orderings\n",
+              kN, order_bits);
+
+  lwe::DbddParams params;
+  params.secret_dim = 1024;
+  params.error_dim = 1024;
+  params.q = 132120577.0;
+  params.secret_variance = 3.2 * 3.2;
+  params.error_variance = 3.2 * 3.2;
+  const double baseline = lwe::estimate_lwe_security(params).beta;
+
+  std::printf("\n%-44s %10s\n", "configuration (SEAL-128 estimator)", "bikz");
+  std::printf("%-44s %10.2f\n", "no attack (baseline)", baseline);
+  {
+    lwe::DbddEstimator est(params);
+    est.integrate_perfect_error_hints(1024);
+    std::printf("%-44s %10.2f\n", "unshuffled + full positional hints",
+                est.estimate().beta);
+  }
+  std::printf("%-44s %10.2f   (no positional hints available)\n", "shuffled sampler",
+              baseline);
+
+  std::printf(
+      "\nreading: shuffling leaves the per-window leakage (and hence the\n"
+      "value multiset) exposed but destroys the position information the\n"
+      "attack needs; at n = 1024 the assignment ambiguity alone is\n"
+      "thousands of bits. Caveats: a naive implementation still leaks the\n"
+      "permutation indices over the data bus, and the multiset reduces\n"
+      "entropy slightly — combine with other randomization (paper §V-A).\n");
+  (void)argc;
+  (void)argv;
+  return 0;
+}

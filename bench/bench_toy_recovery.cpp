@@ -1,0 +1,118 @@
+// "Explore the remaining search space" at laptop scale: a REAL lattice
+// attack (LLL/BKZ, Kannan embedding) on scaled-down LWE instances, with and
+// without side-channel hints — demonstrating, not merely estimating, that
+// hints make the instance practically solvable.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "lwe/dbdd.hpp"
+#include "lwe/lwe.hpp"
+#include "numeric/rng.hpp"
+
+using namespace reveal;
+using namespace reveal::lwe;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  bench::print_header(
+      "Toy-scale real recovery (BKZ + hints)",
+      "Primal attack with our own LLL/BKZ on small LWE instances; perfect\n"
+      "hints turn the lattice problem into linear algebra (paper §III-D).");
+
+  num::Xoshiro256StarStar rng(20220314);
+
+  // --- 1: primal uSVP attack without hints (BKZ does the work) -----------
+  std::printf("\n[1] primal attack without hints (Kannan embedding + BKZ):\n");
+  std::printf("%6s %6s %8s %10s %12s %10s\n", "n", "m", "beta", "success", "time (s)",
+              "est.bikz");
+  const std::size_t sizes[] = {6, 8, 10, 12};
+  for (const std::size_t n : sizes) {
+    if (quick && n > 10) break;
+    LweParams params;
+    params.n = n;
+    params.m = 2 * n;
+    params.q = 1009;
+    params.sigma = 1.5;
+    std::size_t solved = 0;
+    const std::size_t trials = 3;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t t = 0; t < trials; ++t) {
+      const SampledLwe s = sample_lwe(params, rng);
+      const auto recovered = primal_attack(s.instance, /*block_size=*/12, /*max_tours=*/12);
+      if (recovered.has_value() && *recovered == s.secret) ++solved;
+    }
+    DbddParams est;
+    est.secret_dim = n;
+    est.error_dim = params.m;
+    est.q = static_cast<double>(params.q);
+    est.secret_variance = 2.0 / 3.0;
+    est.error_variance = params.sigma * params.sigma;
+    std::printf("%6zu %6zu %8d %9zu/%zu %12.2f %10.1f\n", n, params.m, 12, solved,
+                trials, seconds_since(t0), estimate_lwe_security(est).beta);
+  }
+
+  // --- 2: with perfect hints the instance collapses to linear algebra ----
+  std::printf("\n[2] with perfect hints on every error coordinate (the full\n"
+              "    RevEAL measurement), recovery is Gaussian elimination:\n");
+  std::printf("%6s %6s %10s %12s\n", "n", "m", "success", "time (ms)");
+  for (const std::size_t n : {16, 32, 64, 128}) {
+    LweParams params;
+    params.n = n;
+    params.m = 2 * n;
+    params.q = 132120577ULL;  // the paper's modulus
+    params.sigma = 3.19;
+    const SampledLwe s = sample_lwe(params, rng);
+    std::vector<std::optional<std::int64_t>> hints(params.m);
+    for (std::size_t i = 0; i < params.m; ++i) hints[i] = s.error[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto recovered = solve_with_perfect_hints(s.instance, hints);
+    const double ms = seconds_since(t0) * 1e3;
+    const bool ok = recovered.has_value() && *recovered == s.secret;
+    std::printf("%6zu %6zu %10s %12.2f\n", n, params.m, ok ? "yes" : "NO", ms);
+  }
+
+  // --- 3: partial hints shrink the measured BKZ effort -------------------
+  std::printf("\n[3] partial hints shrink the lattice attack (n = 10, m = 20):\n");
+  std::printf("%14s %10s %12s\n", "hinted coords", "success", "time (s)");
+  for (const std::size_t hinted : {0ULL, 5ULL, 10ULL, 15ULL}) {
+    LweParams params;
+    params.n = 10;
+    params.m = 20;
+    params.q = 1009;
+    params.sigma = 1.5;
+    const SampledLwe s = sample_lwe(params, rng);
+    // Substitute the hinted samples' errors away, keep the rest for BKZ.
+    LweInstance reduced = s.instance;
+    for (std::size_t i = 0; i < hinted; ++i) {
+      const std::int64_t fixed =
+          static_cast<std::int64_t>(reduced.b[i]) - s.error[i];
+      reduced.b[i] = static_cast<std::uint64_t>(
+          ((fixed % static_cast<std::int64_t>(reduced.q)) +
+           static_cast<std::int64_t>(reduced.q)) %
+          static_cast<std::int64_t>(reduced.q));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    // Hinted coordinates now have zero error: the planted vector is shorter
+    // and BKZ finds it faster / with smaller blocks.
+    const auto recovered = primal_attack(reduced, /*block_size=*/10, /*max_tours=*/10);
+    const bool ok = recovered.has_value() && *recovered == s.secret;
+    std::printf("%14zu %10s %12.2f\n", hinted, ok ? "yes" : "NO", seconds_since(t0));
+  }
+
+  std::printf("\nreading: hints monotonically cheapen the lattice step, and full\n"
+              "hints reduce it to exact linear algebra — the laptop-scale analogue\n"
+              "of Table III's 382.25 -> 12.2 bikz collapse.\n");
+  (void)argc;
+  (void)argv;
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Leakage explorer: visualize what the simulated target leaks.
+//
+// Renders a trace portion in ASCII, overlays the detected segmentation,
+// shows the per-sign mean windows, and prints the SOSD curve with the
+// selected POIs — the raw material of paper §III-C/D.
+//
+//   ./leakage_explorer [n] [noise_sigma]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "core/acquisition.hpp"
+#include "sca/poi.hpp"
+
+using namespace reveal;
+using namespace reveal::core;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
+  const double sigma = argc > 2 ? std::strtod(argv[2], nullptr) : 0.15;
+
+  CampaignConfig cfg;
+  cfg.n = n;
+  cfg.leakage.noise_sigma = sigma;
+  SamplerCampaign campaign(cfg);
+
+  std::printf("== leakage explorer: n = %zu coefficients, noise sigma = %.2f ==\n\n", n,
+              sigma);
+  const FullCapture cap = campaign.capture(1);
+  std::printf("trace: %zu samples, %zu/%zu windows segmented\n", cap.trace.size(),
+              cap.segments.size(), n);
+  std::printf("sampled coefficients:");
+  for (const auto v : cap.noise) std::printf(" %lld", static_cast<long long>(v));
+  std::printf("\n\n");
+
+  // Render the first three windows.
+  const std::size_t begin = cap.segments.front().burst_begin > 4
+                                ? cap.segments.front().burst_begin - 4
+                                : 0;
+  const std::size_t end = std::min(cap.segments[std::min<std::size_t>(3, n - 1)].burst_begin + 4,
+                                   cap.trace.size());
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t i = begin; i < end; ++i) {
+    lo = std::min(lo, cap.trace[i]);
+    hi = std::max(hi, cap.trace[i]);
+  }
+  constexpr int kRows = 10;
+  const std::size_t stride = std::max<std::size_t>(1, (end - begin) / 100);
+  for (int r = kRows; r >= 1; --r) {
+    const double level = lo + (hi - lo) * r / kRows;
+    std::printf("%8.2f |", level);
+    for (std::size_t i = begin; i < end; i += stride) {
+      double peak = cap.trace[i];
+      for (std::size_t j = i; j < std::min(i + stride, end); ++j)
+        peak = std::max(peak, cap.trace[j]);
+      std::printf("%c", peak >= level ? '#' : ' ');
+    }
+    std::printf("\n");
+  }
+  std::printf("          (first windows; tall 35-cycle blocks = sequential multiply\n"
+              "           of the distribution call -> the segmentation anchors)\n\n");
+
+  // Per-sign mean windows + SOSD.
+  std::printf("collecting labelled windows for the POI analysis...\n");
+  const auto windows = campaign.collect_windows(200, /*seed_base=*/10);
+  sca::TraceSet by_sign;
+  sca::TraceSet negatives;
+  for (const auto& w : windows) {
+    if (w.samples.size() < 110) continue;
+    sca::Trace t;
+    t.samples.assign(w.samples.begin(), w.samples.begin() + 110);
+    t.label = w.true_value > 0 ? 1 : (w.true_value < 0 ? -1 : 0);
+    by_sign.add(t);
+    if (w.true_value < 0) {
+      t.label = w.true_value;
+      negatives.add(std::move(t));
+    }
+  }
+  const auto sign_means = sca::class_means(by_sign);
+  std::printf("\nmean window per sign (110 samples, '#' >5.5, '+' >4.5, '.' else):\n");
+  for (const auto& [label, mean] : sign_means) {
+    std::printf("  %+d |", label);
+    for (const double v : mean) std::printf("%c", v > 5.5 ? '#' : (v > 4.5 ? '+' : '.'));
+    std::printf("\n");
+  }
+
+  const auto neg_means = sca::class_means(negatives);
+  const auto sosd = sca::sosd_curve(neg_means);
+  const auto pois = sca::select_pois(sosd, 12, 2);
+  const double sosd_max = *std::max_element(sosd.begin(), sosd.end());
+  std::printf("\nSOSD curve across the negative-value classes (x = POI):\n  ");
+  for (std::size_t i = 0; i < sosd.size(); ++i) {
+    const bool is_poi = std::find(pois.begin(), pois.end(), i) != pois.end();
+    const double rel = sosd[i] / sosd_max;
+    std::printf("%c", is_poi ? 'X' : (rel > 0.5 ? '#' : (rel > 0.1 ? '+' : '.')));
+  }
+  std::printf("\n  POIs at samples:");
+  for (const auto p : pois) std::printf(" %zu", p);
+  std::printf("\n\nreading: the leakage concentrates right after the burst (the\n"
+              "srai writing the sampled value) and at the negation/store of the\n"
+              "negative branch — vulnerabilities 2 and 3 of the paper.\n");
+  return 0;
+}

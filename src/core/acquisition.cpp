@@ -1,0 +1,126 @@
+#include "core/acquisition.hpp"
+
+#include <stdexcept>
+
+#include "power/trace_recorder.hpp"
+
+namespace reveal::core {
+
+namespace {
+
+VictimProgram build_campaign_firmware(const CampaignConfig& config) {
+  const int variants = static_cast<int>(config.patched_firmware) +
+                       static_cast<int>(config.shuffled_firmware) +
+                       static_cast<int>(config.masked_firmware);
+  if (variants > 1)
+    throw std::invalid_argument(
+        "SamplerCampaign: firmware variant combinations not implemented");
+  if (config.shuffled_firmware) return build_shuffled_firmware(config.n, config.moduli);
+  if (config.patched_firmware) return build_patched_firmware(config.n, config.moduli);
+  if (config.masked_firmware) return build_masked_firmware(config.n, config.moduli);
+  return build_sampler_firmware(config.n, config.moduli);
+}
+
+}  // namespace
+
+SamplerCampaign::SamplerCampaign(CampaignConfig config)
+    : config_(std::move(config)),
+      program_(build_campaign_firmware(config_)),
+      model_(config_.leakage),
+      machine_(program_.memory_bytes) {}
+
+FullCapture SamplerCampaign::capture(std::uint64_t seed) {
+  // Derive the firmware PRNG seed and the measurement-noise seed from the
+  // campaign seed; both change per capture, like fresh encryptions observed
+  // through a new acquisition.
+  num::Xoshiro256StarStar derive(seed);
+  auto prng_seed = static_cast<std::uint32_t>(derive() | 1u);  // nonzero
+  const std::uint64_t noise_seed = derive();
+
+  power::TraceRecorder recorder(model_, noise_seed);
+  const VictimRun run = run_victim(program_, machine_, prng_seed, &recorder);
+
+  FullCapture cap;
+  cap.trace = recorder.take_samples();
+  cap.noise = run.noise;
+  cap.segments = sca::segment_trace(cap.trace, config_.segmentation);
+  const double threshold = config_.segmentation.threshold > 0.0
+                               ? config_.segmentation.threshold
+                               : sca::auto_threshold(cap.trace);
+  anchor_windows_at_burst_edge(cap.trace, cap.segments, threshold);
+
+  if (program_.shuffled) {
+    // The Fisher-Yates divisions create n-1 extra bursts before the
+    // sampling loop: the sampling windows are the last n segments. Reorder
+    // the ground truth into slot (time) order.
+    cap.permutation = read_permutation(program_, machine_);
+    if (cap.segments.size() == 2 * config_.n - 1) {
+      cap.segments.erase(cap.segments.begin(),
+                         cap.segments.end() - static_cast<std::ptrdiff_t>(config_.n));
+    } else {
+      cap.segments.clear();  // unexpected burst count: reject the capture
+    }
+    std::vector<std::int64_t> slot_noise(config_.n, 0);
+    for (std::size_t slot = 0; slot < config_.n; ++slot) {
+      slot_noise[slot] = run.noise[cap.permutation[slot]];
+    }
+    cap.noise = std::move(slot_noise);
+  }
+  return cap;
+}
+
+std::vector<WindowRecord> SamplerCampaign::collect_windows(std::size_t runs,
+                                                           std::uint64_t seed_base,
+                                                           std::size_t* rejected) {
+  std::vector<WindowRecord> out;
+  out.reserve(runs * config_.n);
+  std::size_t skipped = 0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    const FullCapture cap = capture(seed_base + r);
+    if (cap.segments.size() != config_.n) {
+      ++skipped;
+      continue;
+    }
+    std::vector<WindowRecord> windows = windows_from_capture(cap);
+    for (auto& w : windows) out.push_back(std::move(w));
+  }
+  if (rejected != nullptr) *rejected = skipped;
+  return out;
+}
+
+void anchor_windows_at_burst_edge(const std::vector<double>& trace,
+                                  std::vector<sca::Segment>& segments, double threshold) {
+  for (auto& seg : segments) {
+    // Smoothing delays the detected falling edge by up to the smoothing
+    // window; scan a slightly extended raw range for the true last sample
+    // above threshold (the multiplier's final cycle).
+    const std::size_t lo = seg.burst_begin;
+    const std::size_t hi = std::min(seg.burst_end + 6, trace.size());
+    if (lo >= hi) continue;
+    std::size_t last_above = lo;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (trace[i] > threshold) last_above = i;
+    }
+    seg.window_begin = last_above + 1;
+    if (seg.window_begin > seg.window_end) seg.window_end = seg.window_begin;
+  }
+}
+
+std::vector<WindowRecord> windows_from_capture(const FullCapture& capture) {
+  if (capture.segments.size() != capture.noise.size())
+    throw std::invalid_argument(
+        "windows_from_capture: segment count does not match coefficient count");
+  std::vector<WindowRecord> out;
+  out.reserve(capture.segments.size());
+  for (std::size_t i = 0; i < capture.segments.size(); ++i) {
+    const auto& seg = capture.segments[i];
+    WindowRecord rec;
+    rec.samples.assign(capture.trace.begin() + static_cast<std::ptrdiff_t>(seg.window_begin),
+                       capture.trace.begin() + static_cast<std::ptrdiff_t>(seg.window_end));
+    rec.true_value = static_cast<std::int32_t>(capture.noise[i]);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace reveal::core

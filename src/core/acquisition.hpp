@@ -1,0 +1,87 @@
+#pragma once
+// Measurement campaigns against the simulated target: run the victim
+// firmware, capture power traces, segment them into per-coefficient
+// windows, and (for profiling) attach the ground-truth sampled values —
+// the adversary "can profile the target device" and "configure the device
+// with all possible secrets" (paper §II-B, §III-D).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/victim.hpp"
+#include "power/leakage_model.hpp"
+#include "sca/segmentation.hpp"
+#include "sca/trace.hpp"
+
+namespace reveal::core {
+
+struct CampaignConfig {
+  std::size_t n = 64;  ///< coefficients sampled per firmware run
+  std::vector<std::uint64_t> moduli = {132120577ULL};
+  bool patched_firmware = false;   ///< run the v3.6-style branch-free victim
+  bool shuffled_firmware = false;  ///< run the shuffling-countermeasure victim
+  bool masked_firmware = false;    ///< run the share-masked-store victim
+  power::LeakageParams leakage{};
+  sca::SegmentationConfig segmentation{
+      .smooth_window = 5,
+      // Between the worst-case smoothed normal-code level (~8) and the
+      // sustained multiplier-burst level (~12.7).
+      .threshold = 10.0,
+      .min_burst_length = 20,
+  };
+};
+
+/// One per-coefficient window cut out of a full trace.
+struct WindowRecord {
+  std::vector<double> samples;
+  std::int32_t true_value = 0;  ///< ground truth (profiling only)
+};
+
+/// A complete capture of one encryption-noise sampling run.
+/// For shuffled firmware, `segments`/`noise` are in *slot* (time) order —
+/// noise[s] is the value sampled in window s — and `permutation` holds the
+/// host-side ground truth slot -> coefficient map (empty otherwise).
+struct FullCapture {
+  std::vector<double> trace;
+  std::vector<std::int64_t> noise;      ///< ground truth per window
+  std::vector<sca::Segment> segments;   ///< one per coefficient if OK
+  std::vector<std::uint32_t> permutation;
+};
+
+class SamplerCampaign {
+ public:
+  explicit SamplerCampaign(CampaignConfig config);
+
+  [[nodiscard]] const CampaignConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const VictimProgram& program() const noexcept { return program_; }
+
+  /// Runs the firmware once with the given PRNG seed and a fresh
+  /// measurement-noise stream; segments the captured trace.
+  [[nodiscard]] FullCapture capture(std::uint64_t seed);
+
+  /// Collects labelled windows from `runs` captures (profiling phase).
+  /// Captures whose segmentation does not yield exactly n windows are
+  /// skipped (counted in `rejected` if non-null).
+  [[nodiscard]] std::vector<WindowRecord> collect_windows(std::size_t runs,
+                                                          std::uint64_t seed_base,
+                                                          std::size_t* rejected = nullptr);
+
+ private:
+  CampaignConfig config_;
+  VictimProgram program_;
+  power::LeakageModel model_;
+  riscv::Machine machine_;
+};
+
+/// Refines segment boundaries: anchors each window at the burst's falling
+/// edge in the *raw* trace (the multiplier's last cycle is the last sample
+/// above threshold — a >8-sigma margin), so window prefixes align exactly
+/// across coefficients and traces even though smoothing blurs the detected
+/// edges by a few samples.
+void anchor_windows_at_burst_edge(const std::vector<double>& trace,
+                                  std::vector<sca::Segment>& segments, double threshold);
+
+/// Cuts the (anchored) windows out of a capture.
+[[nodiscard]] std::vector<WindowRecord> windows_from_capture(const FullCapture& capture);
+
+}  // namespace reveal::core

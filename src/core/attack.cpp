@@ -1,0 +1,124 @@
+#include "core/attack.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "numeric/distributions.hpp"
+#include "sca/poi.hpp"
+
+namespace reveal::core {
+
+namespace {
+
+int sign_of(std::int32_t v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); }
+
+}  // namespace
+
+double CoefficientGuess::posterior_mean() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < support.size(); ++i) acc += posterior[i] * support[i];
+  return acc;
+}
+
+double CoefficientGuess::posterior_variance() const {
+  const double mu = posterior_mean();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < support.size(); ++i) {
+    const double d = support[i] - mu;
+    acc += posterior[i] * d * d;
+  }
+  return acc;
+}
+
+RevealAttack::RevealAttack(AttackConfig config) : config_(config) {
+  if (config_.sign_prefix == 0 || config_.value_prefix == 0 || config_.poi_count == 0)
+    throw std::invalid_argument("RevealAttack: zero-sized configuration");
+}
+
+void RevealAttack::train(const std::vector<WindowRecord>& profiling) {
+  if (profiling.empty()) throw std::invalid_argument("RevealAttack::train: no windows");
+
+  // --- sign classifier (vulnerability 1) ---
+  sca::TraceSet sign_set;
+  for (const auto& w : profiling) {
+    if (w.samples.size() < config_.value_prefix)
+      throw std::invalid_argument("RevealAttack::train: window shorter than value_prefix");
+    sca::Trace t;
+    t.samples = w.samples;
+    t.label = sign_of(w.true_value);
+    sign_set.add(std::move(t));
+  }
+  sign_classifier_.fit(sign_set, config_.sign_prefix);
+
+  // --- sign-conditioned value templates (vulnerabilities 2 + 3) ---
+  auto build_side = [this, &profiling](int sign, std::vector<std::size_t>& pois_out)
+      -> std::optional<sca::TemplateSet> {
+    // Drop values too rare to template (outside the observed range).
+    std::map<std::int32_t, std::size_t> counts;
+    for (const auto& w : profiling) {
+      if (sign_of(w.true_value) == sign) ++counts[w.true_value];
+    }
+    sca::TraceSet side;
+    for (const auto& w : profiling) {
+      if (sign_of(w.true_value) != sign) continue;
+      if (counts[w.true_value] < std::max<std::size_t>(config_.min_class_count, 2))
+        continue;
+      sca::Trace t;
+      t.samples.assign(w.samples.begin(),
+                       w.samples.begin() + static_cast<std::ptrdiff_t>(config_.value_prefix));
+      t.label = w.true_value;
+      side.add(std::move(t));
+    }
+    if (side.empty()) return std::nullopt;
+    const sca::ClassMeans means = sca::class_means(side);
+    if (means.size() < 2) return std::nullopt;  // a lone value: nothing to template
+    const std::vector<double> sosd = sca::sosd_curve(means);
+    pois_out = sca::select_pois(sosd, config_.poi_count, config_.poi_min_spacing);
+
+    sca::TemplateBuilder builder(pois_out.size());
+    for (const auto& t : side) {
+      builder.add(t.label, sca::extract_pois(t.samples, pois_out));
+    }
+    return builder.build();
+  };
+
+  pos_templates_ = build_side(+1, pos_pois_);
+  neg_templates_ = build_side(-1, neg_pois_);
+  if (!pos_templates_ || !neg_templates_)
+    throw std::runtime_error(
+        "RevealAttack::train: profiling set lacks positive or negative examples");
+}
+
+CoefficientGuess RevealAttack::attack_window(const std::vector<double>& window) const {
+  if (!trained()) throw std::logic_error("RevealAttack: train() first");
+  CoefficientGuess guess;
+  guess.sign = static_cast<int>(sign_classifier_.classify(window));
+  if (guess.sign == 0) {
+    guess.value = 0;
+    guess.support = {0};
+    guess.posterior = {1.0};
+    return guess;
+  }
+  const sca::TemplateSet& templates = guess.sign > 0 ? *pos_templates_ : *neg_templates_;
+  const std::vector<std::size_t>& pois = guess.sign > 0 ? pos_pois_ : neg_pois_;
+  const std::vector<double> observation = sca::extract_pois(window, pois);
+  guess.support = templates.labels();
+  guess.posterior = templates.posterior(observation);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < guess.posterior.size(); ++i) {
+    if (guess.posterior[i] > guess.posterior[best]) best = i;
+  }
+  guess.value = guess.support[best];
+  return guess;
+}
+
+std::vector<CoefficientGuess> RevealAttack::attack_capture(const FullCapture& capture) const {
+  std::vector<CoefficientGuess> out;
+  out.reserve(capture.segments.size());
+  const std::vector<WindowRecord> windows = windows_from_capture(capture);
+  for (const auto& w : windows) out.push_back(attack_window(w.samples));
+  return out;
+}
+
+}  // namespace reveal::core

@@ -1,0 +1,84 @@
+#pragma once
+// The RevEAL attack pipeline (paper §III):
+//   1. segment the single trace into per-coefficient windows (Fig. 3a)
+//   2. classify the taken branch -> sign / zero (vulnerability 1, Fig. 3b)
+//   3. template attack on the value within the sign class, combining the
+//      assignment leakage (vulnerability 2) with the negation/store leakage
+//      (vulnerability 3) — realized as sign-conditioned template sets
+//   4. emit per-coefficient posteriors, which become perfect/approximate
+//      hints for the DBDD estimator (src/lwe/dbdd.hpp).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/acquisition.hpp"
+#include "sca/classifier.hpp"
+#include "sca/template_attack.hpp"
+
+namespace reveal::core {
+
+struct AttackConfig {
+  std::size_t sign_prefix = 60;   ///< samples used by the branch classifier (must end
+                                  ///< before the loop-exit branch diverges)
+  std::size_t value_prefix = 110; ///< window region searched for value POIs
+                                  ///< (covers the whole negative branch body)
+  std::size_t poi_count = 12;
+  std::size_t poi_min_spacing = 2;
+  /// Values seen fewer than this many times during profiling get no
+  /// template (they fall outside the observed range, like the paper's
+  /// "values between -14 and 14 with 220,000 tests").
+  std::size_t min_class_count = 5;
+  /// Posterior variance below this counts as a perfect hint (paper Table II:
+  /// probabilities that "rounded up to 1 ... because of floating-point
+  /// precision" are used as perfect hints).
+  double perfect_hint_threshold = 1e-6;
+};
+
+/// Outcome for one coefficient window.
+struct CoefficientGuess {
+  int sign = 0;                       ///< -1 / 0 / +1 from the branch classifier
+  std::int32_t value = 0;             ///< maximum-likelihood value
+  std::vector<std::int32_t> support;  ///< candidate values (empty if sign==0)
+  std::vector<double> posterior;      ///< probabilities aligned with support
+  [[nodiscard]] double posterior_variance() const;
+  [[nodiscard]] double posterior_mean() const;
+};
+
+class RevealAttack {
+ public:
+  explicit RevealAttack(AttackConfig config = {});
+
+  /// Trains the sign classifier and the sign-conditioned template sets from
+  /// labelled profiling windows. Throws if a sign class is missing or too
+  /// small.
+  void train(const std::vector<WindowRecord>& profiling);
+
+  [[nodiscard]] bool trained() const noexcept { return sign_classifier_.fitted(); }
+  [[nodiscard]] const AttackConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<std::size_t>& positive_pois() const noexcept {
+    return pos_pois_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& negative_pois() const noexcept {
+    return neg_pois_;
+  }
+
+  /// Attacks one window.
+  [[nodiscard]] CoefficientGuess attack_window(const std::vector<double>& window) const;
+
+  /// Attacks every window of a capture (single-trace attack).
+  [[nodiscard]] std::vector<CoefficientGuess> attack_capture(
+      const FullCapture& capture) const;
+
+ private:
+  AttackConfig config_;
+  sca::PatternClassifier sign_classifier_;
+  std::optional<sca::TemplateSet> pos_templates_;
+  std::optional<sca::TemplateSet> neg_templates_;
+  std::vector<std::size_t> pos_pois_;
+  std::vector<std::size_t> neg_pois_;
+};
+
+}  // namespace reveal::core

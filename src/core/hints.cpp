@@ -1,0 +1,49 @@
+#include "core/hints.hpp"
+
+#include "numeric/distributions.hpp"
+
+namespace reveal::core {
+
+HintSummary integrate_guess_hints(lwe::DbddEstimator& estimator,
+                                  const std::vector<CoefficientGuess>& guesses,
+                                  double perfect_threshold) {
+  HintSummary summary;
+  double var_acc = 0.0;
+  for (const auto& g : guesses) {
+    const double variance = g.posterior_variance();
+    if (variance <= perfect_threshold) {
+      estimator.integrate_perfect_error_hints(1);
+      ++summary.perfect;
+    } else {
+      estimator.integrate_posterior_error_hints(variance, 1);
+      ++summary.approximate;
+      var_acc += variance;
+    }
+  }
+  if (summary.approximate > 0)
+    summary.mean_residual_variance = var_acc / static_cast<double>(summary.approximate);
+  return summary;
+}
+
+HintSummary integrate_sign_only_hints(lwe::DbddEstimator& estimator,
+                                      const std::vector<CoefficientGuess>& guesses,
+                                      double sigma, double max_deviation) {
+  // Knowing only the sign, the adversary's belief about a nonzero
+  // coefficient is the one-sided rounded clipped Gaussian; its variance is
+  // what remains to be searched. Zero detections are exact.
+  const double side_variance = num::positive_tail_variance(sigma, max_deviation);
+  HintSummary summary;
+  for (const auto& g : guesses) {
+    if (g.sign == 0) {
+      estimator.integrate_perfect_error_hints(1);
+      ++summary.perfect;
+    } else {
+      estimator.integrate_posterior_error_hints(side_variance, 1);
+      ++summary.approximate;
+    }
+  }
+  summary.mean_residual_variance = summary.approximate > 0 ? side_variance : 0.0;
+  return summary;
+}
+
+}  // namespace reveal::core

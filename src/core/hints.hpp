@@ -1,0 +1,36 @@
+#pragma once
+// Bridges the side-channel results into the "LWE with hints" estimator:
+// per-coefficient posteriors become perfect or approximate hints exactly as
+// in paper §IV-C (near-deterministic posteriors -> perfect hints; the rest
+// -> approximate/posterior hints with the measured variance).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/attack.hpp"
+#include "lwe/dbdd.hpp"
+
+namespace reveal::core {
+
+struct HintSummary {
+  std::size_t perfect = 0;      ///< coefficients integrated as perfect hints
+  std::size_t approximate = 0;  ///< integrated with residual variance
+  double mean_residual_variance = 0.0;  ///< over the approximate ones
+};
+
+/// Integrates full-attack guesses (sign + value posteriors) for the error
+/// coordinates of `estimator`. `perfect_threshold` is the posterior-variance
+/// cutoff below which a guess counts as a perfect hint.
+HintSummary integrate_guess_hints(lwe::DbddEstimator& estimator,
+                                  const std::vector<CoefficientGuess>& guesses,
+                                  double perfect_threshold);
+
+/// Branch-only adversary (paper Table IV): only the sign / zero information
+/// is used. Zero coefficients become perfect hints; signed ones are
+/// replaced by the sign-conditioned (half-Gaussian) distribution whose
+/// variance is computed from the sampler parameters.
+HintSummary integrate_sign_only_hints(lwe::DbddEstimator& estimator,
+                                      const std::vector<CoefficientGuess>& guesses,
+                                      double sigma, double max_deviation);
+
+}  // namespace reveal::core

@@ -1,0 +1,31 @@
+#pragma once
+// Message recovery from recovered error coefficients (paper Eq. 2-3):
+//   u = (c1 - e2) / p1            (mod q)
+//   m = round( t * (c0 - p0*u) / q ) mod t
+// Recovering e2 alone suffices: once u is known, e1 (|e1| <= 41) is far
+// below Delta/2 and is absorbed by the rounding.
+
+#include <optional>
+#include <vector>
+
+#include "seal/ciphertext.hpp"
+#include "seal/encryption_params.hpp"
+#include "seal/keys.hpp"
+
+namespace reveal::core {
+
+/// Computes u = (c1 - e2) * p1^{-1} in the NTT domain. Returns std::nullopt
+/// if p1 is not invertible or the result is not ternary (which signals a
+/// wrong e2 — a built-in consistency check for the attack).
+[[nodiscard]] std::optional<seal::Poly> recover_u(const seal::Context& context,
+                                                  const seal::PublicKey& pk,
+                                                  const seal::Ciphertext& ct,
+                                                  const std::vector<std::int64_t>& e2);
+
+/// Full message recovery via Eq. (3). Returns std::nullopt when e2 is
+/// inconsistent with the ciphertext.
+[[nodiscard]] std::optional<seal::Plaintext> recover_message(
+    const seal::Context& context, const seal::PublicKey& pk, const seal::Ciphertext& ct,
+    const std::vector<std::int64_t>& e2);
+
+}  // namespace reveal::core

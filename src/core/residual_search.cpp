@@ -1,0 +1,222 @@
+#include "core/residual_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "core/message_recovery.hpp"
+#include "seal/modarith.hpp"
+#include "seal/poly.hpp"
+#include "seal/sampler.hpp"
+
+namespace reveal::core {
+
+namespace {
+
+/// Per-coefficient candidate list sorted by decreasing posterior.
+struct CandidateList {
+  std::size_t coeff_index = 0;
+  std::vector<std::int64_t> values;
+  std::vector<double> log_probs;  // aligned, non-increasing
+};
+
+/// Search node in the lazy best-first enumeration. A node represents one
+/// rank assignment; `fresh` marks whether the assignment still needs its
+/// consistency check. Children are generated lazily (two per pop) so the
+/// heap stays proportional to the try budget even at large search widths:
+///   A: increment the rank at `frontier` (new assignment, fresh)
+///   B: advance `frontier` by one, same assignment (virtual, not re-checked)
+/// Together these cover the duplicate-free child set
+/// { ranks + e_j : j >= frontier } of the canonical-parent scheme.
+struct Node {
+  std::vector<std::uint8_t> ranks;
+  std::size_t frontier = 0;
+  double log_prob = 0.0;
+  bool fresh = true;
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const { return a.log_prob < b.log_prob; }
+};
+
+}  // namespace
+
+ResidualSearchResult residual_search(const seal::Context& context, const seal::PublicKey& pk,
+                                     const seal::Ciphertext& ct,
+                                     const std::vector<CoefficientGuess>& guesses,
+                                     const ResidualSearchConfig& config) {
+  using namespace reveal::seal;
+  if (guesses.size() != context.n())
+    throw std::invalid_argument("residual_search: guess count does not match context");
+  if (ct.size() != 2)
+    throw std::invalid_argument("residual_search: need a fresh 2-part ciphertext");
+
+  ResidualSearchResult result;
+
+  // Maximum-likelihood baseline assignment.
+  std::vector<std::int64_t> e2(context.n());
+  for (std::size_t i = 0; i < context.n(); ++i) e2[i] = guesses[i].value;
+
+  // Rank coefficients by certainty; collect candidate lists for the
+  // uncertain ones.
+  std::vector<CandidateList> lists;
+  for (std::size_t i = 0; i < context.n(); ++i) {
+    const auto& g = guesses[i];
+    if (g.support.size() < 2) continue;
+    double top = 0.0;
+    for (const double p : g.posterior) top = std::max(top, p);
+    if (top >= config.certain_threshold) continue;
+
+    CandidateList list;
+    list.coeff_index = i;
+    std::vector<std::size_t> order(g.support.size());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::sort(order.begin(), order.end(), [&g](std::size_t a, std::size_t b) {
+      return g.posterior[a] > g.posterior[b];
+    });
+    const std::size_t keep = std::min(order.size(), config.max_candidates_per_coeff);
+    for (std::size_t k = 0; k < keep; ++k) {
+      const double p = std::max(g.posterior[order[k]], 1e-30);
+      list.values.push_back(g.support[order[k]]);
+      list.log_probs.push_back(std::log(p));
+    }
+    lists.push_back(std::move(list));
+  }
+  // Search the least certain coefficients; pin the rest to their ML value.
+  std::sort(lists.begin(), lists.end(), [](const CandidateList& a, const CandidateList& b) {
+    return a.log_probs[0] < b.log_probs[0];
+  });
+  if (lists.size() > config.max_uncertain) lists.resize(config.max_uncertain);
+  result.uncertain_count = lists.size();
+
+  // Consistency oracle. Precompute everything that does not depend on the
+  // candidate: NTT(c1), the NTT-domain inverse of p1, and NTT(p0) — each
+  // check is then one forward + one inverse transform.
+  const double max_dev = context.parms().noise_max_deviation();
+  const auto& tables = context.fast_ntt_tables();
+  const auto& moduli = context.coeff_modulus();
+  const std::size_t n = context.n();
+
+  Poly c1_ntt = ct[1];
+  polyops::ntt_forward(c1_ntt, tables);
+  Poly p1_ntt = pk.p1;
+  polyops::ntt_forward(p1_ntt, tables);
+  Poly p1_inv_ntt(n, moduli.size());
+  bool p1_invertible = true;
+  for (std::size_t j = 0; j < moduli.size() && p1_invertible; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t denom = p1_ntt.at(i, j);
+      if (denom == 0) {
+        p1_invertible = false;
+        break;
+      }
+      p1_inv_ntt.at(i, j) = inverse_mod(denom, moduli[j]);
+    }
+  }
+  if (!p1_invertible) return result;  // no unique u: cannot search
+  Poly p0_ntt = pk.p0;
+  polyops::ntt_forward(p0_ntt, tables);
+
+  const std::uint64_t delta = context.delta().low_word();
+  const std::uint64_t t = context.plain_modulus().value();
+  const std::uint64_t q0 = moduli[0].value();
+  const double slack = max_dev + static_cast<double>(q0 % t) + 1.0;
+
+  Poly scratch(n, moduli.size());
+  Poly u_ntt(n, moduli.size());
+  auto consistent = [&](const std::vector<std::int64_t>& candidate_e2) -> bool {
+    // u = (c1 - e2) * p1^{-1}: ternary check first (the cheap, powerful
+    // filter), then the e1-bound check on survivors.
+    encode_noise_values(candidate_e2, context, scratch);
+    polyops::ntt_forward(scratch, tables);
+    for (std::size_t j = 0; j < moduli.size(); ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t num = seal::sub_mod(c1_ntt.at(i, j), scratch.at(i, j), moduli[j]);
+        u_ntt.at(i, j) = seal::mul_mod(num, p1_inv_ntt.at(i, j), moduli[j]);
+      }
+    }
+    Poly u = u_ntt;
+    polyops::ntt_inverse(u, tables);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t centered = seal::center_mod(u.at(i, 0), moduli[0]);
+      if (centered < -1 || centered > 1) return false;
+      for (std::size_t j = 1; j < moduli.size(); ++j) {
+        if (seal::center_mod(u.at(i, j), moduli[j]) != centered) return false;
+      }
+    }
+    // e1 bound: x = c0 - p0*u must sit near a multiple of Delta.
+    Poly p0u = u_ntt;
+    polyops::dyadic_product(p0u, p0_ntt, moduli, p0u);
+    polyops::ntt_inverse(p0u, tables);
+    Poly x;
+    polyops::sub(ct[0], p0u, moduli, x);
+    if (context.coeff_mod_count() == 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t rem = x.at(i, 0) % delta;
+        const std::uint64_t dist = rem > delta / 2 ? delta - rem : rem;
+        if (static_cast<double>(dist) > slack) return false;
+      }
+    }
+    return true;
+  };
+
+  // Try the ML assignment first.
+  ++result.tried;
+  if (consistent(e2)) {
+    result.found = true;
+    result.e2 = e2;
+    return result;
+  }
+  if (lists.empty()) return result;
+
+  // Lazy best-first enumeration over candidate ranks (two pushes per pop).
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> heap;
+  Node root;
+  root.ranks.assign(lists.size(), 0);
+  root.frontier = 0;
+  root.log_prob = 0.0;
+  root.fresh = false;  // the ML assignment was already checked above
+  for (const auto& l : lists) root.log_prob += l.log_probs[0];
+  heap.push(std::move(root));
+
+  auto push_increment = [&heap, &lists](const Node& node) {
+    const std::size_t j = node.frontier;
+    const std::size_t next_rank = node.ranks[j] + 1u;
+    if (next_rank >= lists[j].values.size()) return;
+    Node child = node;
+    child.ranks[j] = static_cast<std::uint8_t>(next_rank);
+    child.log_prob += lists[j].log_probs[next_rank] - lists[j].log_probs[next_rank - 1];
+    child.fresh = true;
+    heap.push(std::move(child));
+  };
+  auto push_advance = [&heap, &lists](const Node& node) {
+    if (node.frontier + 1 >= lists.size()) return;
+    Node sibling = node;
+    ++sibling.frontier;
+    sibling.fresh = false;
+    heap.push(std::move(sibling));
+  };
+
+  std::vector<std::int64_t> candidate = e2;
+  while (!heap.empty() && result.tried < config.max_tries) {
+    const Node node = heap.top();
+    heap.pop();
+    if (node.fresh) {
+      for (std::size_t j = 0; j < lists.size(); ++j) {
+        candidate[lists[j].coeff_index] = lists[j].values[node.ranks[j]];
+      }
+      ++result.tried;
+      if (consistent(candidate)) {
+        result.found = true;
+        result.e2 = candidate;
+        return result;
+      }
+    }
+    push_increment(node);
+    push_advance(node);
+  }
+  return result;
+}
+
+}  // namespace reveal::core

@@ -1,0 +1,46 @@
+#pragma once
+// Residual search-space exploration (paper §III-D / §IV-C).
+//
+// The template attack leaves a handful of coefficients uncertain. The paper
+// quantifies the remainder with BKZ/DBDD; at laptop scale we can *solve* it:
+// enumerate joint e2 assignments in decreasing posterior probability
+// (best-first over the per-coefficient posteriors) and accept the first one
+// consistent with the public values — u = (c1 - e2)/p1 must be ternary and
+// the implied e1 = c0 - Delta*m - p0*u must be within the sampler's clip
+// bound. The consistency check is the lattice constraint that makes the
+// hinted instance easy (12.2 bikz ~ a 2^4.4 search).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/attack.hpp"
+#include "seal/ciphertext.hpp"
+#include "seal/encryption_params.hpp"
+#include "seal/keys.hpp"
+
+namespace reveal::core {
+
+struct ResidualSearchConfig {
+  std::size_t max_tries = 2000000;      ///< consistency checks budget
+  std::size_t max_candidates_per_coeff = 6;
+  /// Coefficients whose top posterior exceeds this are pinned to their ML
+  /// value (not searched).
+  double certain_threshold = 0.9999;
+  std::size_t max_uncertain = 48;       ///< search width cap (least certain first)
+};
+
+struct ResidualSearchResult {
+  bool found = false;
+  std::vector<std::int64_t> e2;     ///< consistent error vector (if found)
+  std::size_t tried = 0;            ///< assignments tested
+  std::size_t uncertain_count = 0;  ///< coefficients actually searched
+};
+
+/// Searches for the e2 consistent with (pk, ct), guided by the attack's
+/// posteriors. Works on fresh 2-component ciphertexts.
+[[nodiscard]] ResidualSearchResult residual_search(
+    const seal::Context& context, const seal::PublicKey& pk, const seal::Ciphertext& ct,
+    const std::vector<CoefficientGuess>& guesses, const ResidualSearchConfig& config = {});
+
+}  // namespace reveal::core

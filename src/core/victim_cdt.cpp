@@ -1,0 +1,182 @@
+// CDT-sampler firmware — the *related-work* attack surface (paper §I cites
+// Kim et al. [10] and Zhang et al. [12], which attack cumulative-
+// distribution-table samplers; those attacks "are not directly applicable
+// on SEAL" because SEAL uses the clipped normal — this firmware exists to
+// reproduce that contrast on the same simulated target).
+//
+// Per coefficient: one 32-bit PRNG draw r, then a table scan for the first
+// cumulative threshold >= r.
+//   - leaky variant: early-exit scan — the scan LENGTH equals the sampled
+//     value's index, a pure timing leak;
+//   - constant-time variant: full-table branchless scan (the [10]/[12]
+//     countermeasure) — flat timing, only data-flow leakage remains.
+// The sign-assignment code afterwards is the same Fig. 2 port as the main
+// victim, so the poly memory encoding and ground-truth decoding are shared.
+
+#include <stdexcept>
+
+#include "core/victim.hpp"
+#include "riscv/assembler.hpp"
+#include "seal/dgauss.hpp"
+
+namespace reveal::core {
+
+namespace {
+
+using namespace reveal::riscv;
+
+bool is_power_of_two_(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+int log2_exact_(std::size_t v) {
+  int l = 0;
+  while ((std::size_t{1} << l) < v) ++l;
+  return l;
+}
+
+}  // namespace
+
+VictimProgram build_cdt_firmware(std::size_t n, const std::vector<std::uint64_t>& moduli,
+                                 bool constant_time, double sigma, double max_deviation) {
+  if (!is_power_of_two_(n)) throw std::invalid_argument("cdt victim: n must be a power of two");
+  if (moduli.empty()) throw std::invalid_argument("cdt victim: need at least one modulus");
+  for (const std::uint64_t q : moduli) {
+    if (q == 0 || q >= (std::uint64_t{1} << 31))
+      throw std::invalid_argument("cdt victim: moduli must fit in 31 bits");
+  }
+
+  // 32-bit cumulative thresholds from the exact sampler table.
+  const seal::CdtSampler sampler(sigma, max_deviation);
+  std::vector<std::uint32_t> cdt32;
+  cdt32.reserve(sampler.table().size());
+  for (const std::uint64_t threshold : sampler.table()) {
+    cdt32.push_back(static_cast<std::uint32_t>(threshold >> 32));
+  }
+  cdt32.back() = 0xFFFFFFFFu;
+  const auto table_size = static_cast<std::int32_t>(cdt32.size());
+  const std::int32_t bias = sampler.max_value();  // value = index - bias
+
+  VictimProgram prog;
+  prog.n = n;
+  prog.coeff_mod_count = moduli.size();
+  prog.moduli = moduli;
+  prog.layout.perm_base =
+      prog.layout.poly_base + static_cast<std::uint32_t>(4 * n * moduli.size());
+  prog.layout.mask_base = prog.layout.perm_base + static_cast<std::uint32_t>(4 * n);
+  prog.memory_bytes = prog.layout.mask_base + 4 * n * moduli.size() + 4096;
+
+  const int row_shift = log2_exact_(n) + 2;
+
+  Assembler as(prog.layout.code_base);
+  // Register plan: s0 = i, s1 = n, s2 = &poly, s3 = rng, s4 = k,
+  // s5 = &qtable, s6 = &cdt, s7 = table size, s8 = bias. a0 = value.
+  as.j("start");
+  as.label("qtable");
+  for (const std::uint64_t q : moduli) as.word(static_cast<std::uint32_t>(q));
+  as.label("cdt");
+  for (const std::uint32_t t : cdt32) as.word(t);
+
+  as.label("start");
+  as.li(s1, static_cast<std::int32_t>(n));
+  as.li(s2, static_cast<std::int32_t>(prog.layout.poly_base));
+  as.li(t0, static_cast<std::int32_t>(prog.layout.seed_addr));
+  as.lw(s3, 0, t0);
+  as.li(s4, static_cast<std::int32_t>(moduli.size()));
+  as.la(s5, "qtable");
+  as.la(s6, "cdt");
+  as.li(s7, table_size);
+  as.li(s8, bias);
+  as.li(s0, 0);
+
+  prog.loop_pc = as.here();
+  as.label("loop_i");
+  as.bge(s0, s1, "done");
+
+  // One PRNG draw.
+  as.slli(t2, s3, 13);
+  as.xor_(s3, s3, t2);
+  as.srli(t2, s3, 17);
+  as.xor_(s3, s3, t2);
+  as.slli(t2, s3, 5);
+  as.xor_(s3, s3, t2);
+  // r = state (full 32 bits), unsigned comparisons against the table.
+
+  as.li(t1, 0);  // idx
+  if (!constant_time) {
+    // Early-exit scan: duration = idx * (load + compare + inc + jump) — the
+    // timing side channel of the CDT construction.
+    as.label("scan");
+    as.slli(t2, t1, 2);
+    as.add(t2, t2, s6);
+    as.lw(t3, 0, t2);           // cdt[idx]
+    as.bgeu(t3, s3, "found");   // threshold >= r: stop
+    as.addi(t1, t1, 1);
+    as.blt(t1, s7, "scan");
+    as.addi(t1, s7, -1);        // clamp (r above the last threshold)
+    as.label("found");
+  } else {
+    // Constant-time scan: every entry touched; idx += (cdt[k] < r).
+    as.li(t4, 0);  // k
+    as.label("ct_scan");
+    as.bge(t4, s7, "ct_done");
+    as.slli(t2, t4, 2);
+    as.add(t2, t2, s6);
+    as.lw(t3, 0, t2);
+    as.sltu(t5, t3, s3);        // cdt[k] < r
+    as.add(t1, t1, t5);
+    as.addi(t4, t4, 1);
+    as.j("ct_scan");
+    as.label("ct_done");
+  }
+  as.sub(a0, t1, s8);  // value = idx - bias
+
+  // ---- the same Fig. 2 sign assignment as the main victim ---------------
+  as.slli(t0, s0, 2);
+  as.add(t0, t0, s2);
+  as.bgtz(a0, "branch_pos");
+  as.bltz(a0, "branch_neg");
+  as.li(t1, 0);
+  as.label("zero_j");
+  as.bge(t1, s4, "end_i");
+  as.slli(t2, t1, static_cast<std::uint32_t>(row_shift));
+  as.add(t2, t2, t0);
+  as.sw(zero, 0, t2);
+  as.addi(t1, t1, 1);
+  as.j("zero_j");
+
+  as.label("branch_pos");
+  as.li(t1, 0);
+  as.label("pos_j");
+  as.bge(t1, s4, "end_i");
+  as.slli(t2, t1, static_cast<std::uint32_t>(row_shift));
+  as.add(t2, t2, t0);
+  as.sw(a0, 0, t2);
+  as.addi(t1, t1, 1);
+  as.j("pos_j");
+
+  as.label("branch_neg");
+  as.neg(a0, a0);
+  as.li(t1, 0);
+  as.label("neg_j");
+  as.bge(t1, s4, "end_i");
+  as.slli(t3, t1, 2);
+  as.add(t3, t3, s5);
+  as.lw(t4, 0, t3);
+  as.sub(t5, t4, a0);
+  as.slli(t2, t1, static_cast<std::uint32_t>(row_shift));
+  as.add(t2, t2, t0);
+  as.sw(t5, 0, t2);
+  as.addi(t1, t1, 1);
+  as.j("neg_j");
+
+  as.label("end_i");
+  as.addi(s0, s0, 1);
+  as.j("loop_i");
+
+  as.label("done");
+  as.ebreak();
+
+  prog.words = as.assemble();
+  return prog;
+}
+
+}  // namespace reveal::core

@@ -1,0 +1,115 @@
+#include "lwe/dbdd_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace reveal::lwe {
+
+namespace {
+constexpr double kDegenerate = 1e-12;
+}
+
+DbddMatrixEstimator::DbddMatrixEstimator(const DbddParams& params)
+    : error_dim_(params.error_dim) {
+  if (params.secret_dim == 0 || params.error_dim == 0 || params.q <= 1.0 ||
+      params.secret_variance <= 0.0 || params.error_variance <= 0.0)
+    throw std::invalid_argument("DbddMatrixEstimator: invalid parameters");
+  const std::size_t d = params.error_dim + params.secret_dim;
+  sigma_ = num::Matrix(d, d);
+  double half_log_det = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    const double var = i < params.error_dim ? params.error_variance
+                                            : params.secret_variance;
+    sigma_(i, i) = var;
+    half_log_det += 0.5 * std::log(var);
+  }
+  logvol_ = static_cast<double>(params.error_dim) * std::log(params.q) - half_log_det;
+}
+
+std::size_t DbddMatrixEstimator::dim() const noexcept {
+  return sigma_.rows() - removed_ + 1;  // + homogenization
+}
+
+double DbddMatrixEstimator::quadratic_form(const std::vector<double>& v,
+                                           std::vector<double>& sigma_v) const {
+  if (v.size() != sigma_.rows())
+    throw std::invalid_argument("DbddMatrixEstimator: direction dimension mismatch");
+  sigma_v = sigma_.apply(v);
+  double q = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) q += v[i] * sigma_v[i];
+  return q;
+}
+
+void DbddMatrixEstimator::rank_one_downdate(const std::vector<double>& sigma_v,
+                                            double denom) {
+  const std::size_t d = sigma_.rows();
+  for (std::size_t i = 0; i < d; ++i) {
+    const double scale = sigma_v[i] / denom;
+    if (scale == 0.0) continue;
+    for (std::size_t j = 0; j < d; ++j) {
+      sigma_(i, j) -= scale * sigma_v[j];
+    }
+  }
+}
+
+void DbddMatrixEstimator::integrate_perfect_hint(const std::vector<double>& v) {
+  std::vector<double> sigma_v;
+  const double q = quadratic_form(v, sigma_v);
+  if (q <= kDegenerate)
+    throw std::logic_error(
+        "DbddMatrixEstimator: direction already determined (zero variance)");
+  logvol_ += 0.5 * std::log(q);
+  rank_one_downdate(sigma_v, q);
+  ++removed_;
+  if (removed_ >= sigma_.rows())
+    throw std::logic_error("DbddMatrixEstimator: all coordinates eliminated");
+}
+
+void DbddMatrixEstimator::integrate_approximate_hint(const std::vector<double>& v,
+                                                     double eps) {
+  if (eps <= 0.0)
+    throw std::invalid_argument("DbddMatrixEstimator: eps must be positive");
+  std::vector<double> sigma_v;
+  const double q = quadratic_form(v, sigma_v);
+  if (q <= kDegenerate) return;  // nothing left to learn along v
+  logvol_ += 0.5 * std::log((q + eps) / eps);
+  rank_one_downdate(sigma_v, q + eps);
+}
+
+void DbddMatrixEstimator::integrate_perfect_error_hint(std::size_t i) {
+  if (i >= error_dim_)
+    throw std::invalid_argument("DbddMatrixEstimator: error coordinate out of range");
+  std::vector<double> v(sigma_.rows(), 0.0);
+  v[i] = 1.0;
+  integrate_perfect_hint(v);
+}
+
+SecurityEstimate DbddMatrixEstimator::estimate() const {
+  const auto d = static_cast<double>(dim());
+  const double nu = logvol_;
+  const auto f = [d, nu](double beta) {
+    return (2.0 * beta - d - 1.0) * std::log(bkz_delta(beta)) + nu / d -
+           0.5 * std::log(beta);
+  };
+  SecurityEstimate out;
+  out.dim = dim();
+  double lo = 2.0;
+  double hi = d;
+  if (f(lo) >= 0.0) {
+    out.beta = lo;
+  } else if (f(hi) < 0.0) {
+    out.beta = hi;
+  } else {
+    for (int iter = 0; iter < 200 && hi - lo > 1e-3; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (f(mid) >= 0.0) hi = mid;
+      else lo = mid;
+    }
+    out.beta = 0.5 * (lo + hi);
+  }
+  out.delta = bkz_delta(out.beta);
+  out.bits = out.beta / kBikzPerBit;
+  return out;
+}
+
+}  // namespace reveal::lwe

@@ -1,0 +1,29 @@
+#pragma once
+// Bit-level helpers shared by the power model and the SCA toolkit.
+
+#include <bit>
+#include <cstdint>
+
+namespace reveal::num {
+
+/// Hamming weight (population count) of a 32-bit word.
+[[nodiscard]] constexpr int hamming_weight(std::uint32_t v) noexcept {
+  return std::popcount(v);
+}
+
+/// Hamming weight of a 64-bit word.
+[[nodiscard]] constexpr int hamming_weight(std::uint64_t v) noexcept {
+  return std::popcount(v);
+}
+
+/// Hamming distance between two 32-bit words (number of toggled bits).
+[[nodiscard]] constexpr int hamming_distance(std::uint32_t a, std::uint32_t b) noexcept {
+  return std::popcount(a ^ b);
+}
+
+/// Hamming distance between two 64-bit words.
+[[nodiscard]] constexpr int hamming_distance(std::uint64_t a, std::uint64_t b) noexcept {
+  return std::popcount(a ^ b);
+}
+
+}  // namespace reveal::num

@@ -1,0 +1,134 @@
+#include "numeric/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace reveal::num {
+
+namespace {
+
+constexpr double kInvSqrt2Pi = 0.3989422804014327;  // 1/sqrt(2*pi)
+
+/// P(lo < N(0,sigma) <= hi).
+double normal_interval(double lo, double hi, double sigma) noexcept {
+  return normal_cdf(hi / sigma) - normal_cdf(lo / sigma);
+}
+
+/// Total mass of the clipped (pre-rounding) normal: P(|X| <= max_dev).
+double clip_mass(double sigma, double max_dev) noexcept {
+  return normal_interval(-max_dev, max_dev, sigma);
+}
+
+}  // namespace
+
+double normal_pdf(double x) noexcept { return kInvSqrt2Pi * std::exp(-0.5 * x * x); }
+
+double normal_pdf(double x, double mu, double sigma) noexcept {
+  const double z = (x - mu) / sigma;
+  return kInvSqrt2Pi / sigma * std::exp(-0.5 * z * z);
+}
+
+double normal_cdf(double x) noexcept {
+  return 0.5 * std::erfc(-x * std::numbers::sqrt2 / 2.0);
+}
+
+double rounded_clipped_normal_pmf(int k, double sigma, double max_dev) noexcept {
+  // SEAL rejects |x| > max_dev before rounding, so the support after
+  // rounding is [-round(max_dev), round(max_dev)] and the mass of integer k
+  // is the clipped-normal mass of the interval (k-1/2, k+1/2].
+  const double kk = static_cast<double>(k);
+  if (std::abs(kk) > max_dev + 0.5) return 0.0;
+  const double lo = std::max(kk - 0.5, -max_dev);
+  const double hi = std::min(kk + 0.5, max_dev);
+  if (hi <= lo) return 0.0;
+  return normal_interval(lo, hi, sigma) / clip_mass(sigma, max_dev);
+}
+
+double positive_tail_mean(double sigma, double max_dev) noexcept {
+  double mass = 0.0;
+  double acc = 0.0;
+  const int kmax = static_cast<int>(std::ceil(max_dev));
+  for (int k = 1; k <= kmax; ++k) {
+    const double p = rounded_clipped_normal_pmf(k, sigma, max_dev);
+    mass += p;
+    acc += p * k;
+  }
+  return mass > 0.0 ? acc / mass : 0.0;
+}
+
+double positive_tail_variance(double sigma, double max_dev) noexcept {
+  const double mu = positive_tail_mean(sigma, max_dev);
+  double mass = 0.0;
+  double acc = 0.0;
+  const int kmax = static_cast<int>(std::ceil(max_dev));
+  for (int k = 1; k <= kmax; ++k) {
+    const double p = rounded_clipped_normal_pmf(k, sigma, max_dev);
+    mass += p;
+    acc += p * (k - mu) * (k - mu);
+  }
+  return mass > 0.0 ? acc / mass : 0.0;
+}
+
+double zero_probability(double sigma, double max_dev) noexcept {
+  return rounded_clipped_normal_pmf(0, sigma, max_dev);
+}
+
+std::vector<double> normalize_probabilities(std::vector<double> scores) {
+  double total = 0.0;
+  for (double s : scores) {
+    if (s < 0.0) throw std::invalid_argument("normalize_probabilities: negative score");
+    total += s;
+  }
+  if (total <= 0.0) {
+    const double u = scores.empty() ? 0.0 : 1.0 / static_cast<double>(scores.size());
+    std::fill(scores.begin(), scores.end(), u);
+    return scores;
+  }
+  for (double& s : scores) s /= total;
+  return scores;
+}
+
+std::vector<double> log_scores_to_posterior(const std::vector<double>& log_scores) {
+  if (log_scores.empty()) return {};
+  const double max_score = *std::max_element(log_scores.begin(), log_scores.end());
+  std::vector<double> probs(log_scores.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < log_scores.size(); ++i) {
+    probs[i] = std::exp(log_scores[i] - max_score);
+    total += probs[i];
+  }
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+double entropy_bits(const std::vector<double>& probs) noexcept {
+  double h = 0.0;
+  for (double p : probs) {
+    if (p > 0.0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double distribution_variance(const std::vector<int>& support,
+                             const std::vector<double>& probs) {
+  const double mu = distribution_mean(support, probs);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < support.size(); ++i) {
+    const double d = support[i] - mu;
+    acc += probs[i] * d * d;
+  }
+  return acc;
+}
+
+double distribution_mean(const std::vector<int>& support,
+                         const std::vector<double>& probs) {
+  if (support.size() != probs.size())
+    throw std::invalid_argument("distribution_mean: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < support.size(); ++i) acc += probs[i] * support[i];
+  return acc;
+}
+
+}  // namespace reveal::num

@@ -1,0 +1,104 @@
+#include "numeric/rng.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+namespace reveal::num {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+  // All-zero state is invalid for xoshiro; SplitMix64 cannot produce four
+  // zero outputs in a row for any seed, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+Xoshiro256StarStar::result_type Xoshiro256StarStar::operator()() noexcept {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256StarStar::uniform_below(std::uint64_t bound) noexcept {
+  // Lemire-style rejection to avoid modulo bias.
+  if (bound <= 1) return 0;
+  const std::uint64_t threshold = (~bound + 1) % bound;  // (2^64 - bound) mod bound
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Xoshiro256StarStar::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_below(span));
+}
+
+double Xoshiro256StarStar::uniform_double() noexcept {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256StarStar::gaussian() noexcept {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 in (0,1] so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform_double();
+  } while (u1 <= 0.0);
+  const double u2 = uniform_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Xoshiro256StarStar::gaussian(double mean, double stddev) noexcept {
+  return mean + stddev * gaussian();
+}
+
+bool Xoshiro256StarStar::bernoulli(double p) noexcept {
+  return uniform_double() < p;
+}
+
+void Xoshiro256StarStar::jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL,
+      0xA9582618E03FC9AAULL, 0x39ABDC4529B1661CULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= state_[i];
+      }
+      (*this)();
+    }
+  }
+  state_ = acc;
+  has_cached_gaussian_ = false;
+}
+
+Xoshiro256StarStar Xoshiro256StarStar::fork() noexcept {
+  return Xoshiro256StarStar{(*this)()};
+}
+
+}  // namespace reveal::num

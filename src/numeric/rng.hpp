@@ -1,0 +1,61 @@
+#pragma once
+// Deterministic, fast pseudo-random generation for the whole project.
+//
+// All randomness in the reproduction flows through Xoshiro256StarStar so
+// every experiment is reproducible from a single seed. The class satisfies
+// the C++ UniformRandomBitGenerator requirements, so it can also drive
+// <random> distributions where convenient.
+
+#include <array>
+#include <cstdint>
+
+namespace reveal::num {
+
+/// xoshiro256** by Blackman & Vigna — small, fast, high-quality PRNG.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state from a single 64-bit seed via SplitMix64 expansion.
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  /// Next 64 uniformly random bits.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (bound > 0).
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform_double() noexcept;
+
+  /// Standard normal variate (Box-Muller, cached second value).
+  double gaussian() noexcept;
+
+  /// Normal variate with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept;
+
+  /// Jump function: advances the state by 2^128 steps (for parallel streams).
+  void jump() noexcept;
+
+  /// Derives an independent child generator (seeded from this stream).
+  Xoshiro256StarStar fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+/// SplitMix64 step — used for seed expansion; exposed for tests.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace reveal::num

@@ -1,0 +1,51 @@
+#include "power/scope.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reveal::power {
+
+std::vector<double> acquire(const std::vector<double>& raw, const ScopeParams& params) {
+  if (params.bandwidth_window == 0 || params.decimation == 0)
+    throw std::invalid_argument("scope::acquire: window/decimation must be >= 1");
+  if (params.quantize_8bit && !(params.range_hi > params.range_lo))
+    throw std::invalid_argument("scope::acquire: empty quantization range");
+
+  // Analog chain: gain/offset then moving average.
+  std::vector<double> stage(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    stage[i] = raw[i] * params.gain + params.offset;
+  }
+  if (params.bandwidth_window > 1) {
+    std::vector<double> filtered(stage.size());
+    double acc = 0.0;
+    const std::size_t w = params.bandwidth_window;
+    for (std::size_t i = 0; i < stage.size(); ++i) {
+      acc += stage[i];
+      if (i >= w) acc -= stage[i - w];
+      const std::size_t denom = std::min(i + 1, w);
+      filtered[i] = acc / static_cast<double>(denom);
+    }
+    stage = std::move(filtered);
+  }
+
+  // Decimation.
+  std::vector<double> out;
+  out.reserve(stage.size() / params.decimation + 1);
+  for (std::size_t i = 0; i < stage.size(); i += params.decimation) {
+    out.push_back(stage[i]);
+  }
+
+  // ADC quantization.
+  if (params.quantize_8bit) {
+    const double span = params.range_hi - params.range_lo;
+    for (double& v : out) {
+      const double t = std::clamp((v - params.range_lo) / span, 0.0, 1.0);
+      v = params.range_lo + std::round(t * 255.0) / 255.0 * span;
+    }
+  }
+  return out;
+}
+
+}  // namespace reveal::power

@@ -1,0 +1,33 @@
+#pragma once
+// Oscilloscope front-end model.
+//
+// The paper measures the shunt voltage with a PicoScope 6424E at 1 GS/s
+// while the core runs at 1.5 MHz — hundreds of scope samples per core
+// cycle, later aligned per cycle. We model the acquisition chain that
+// matters for the attack: analog gain/offset, optional moving-average
+// bandwidth limit, decimation to one sample per cycle, and 8-bit
+// quantization of the ADC.
+
+#include <cstdint>
+#include <vector>
+
+namespace reveal::power {
+
+struct ScopeParams {
+  double gain = 1.0;
+  double offset = 0.0;
+  /// Moving-average window (samples) modelling the analog bandwidth; 1 = off.
+  std::size_t bandwidth_window = 1;
+  /// Keep every k-th sample; 1 = no decimation.
+  std::size_t decimation = 1;
+  /// If true, quantize to 8-bit codes over [range_lo, range_hi].
+  bool quantize_8bit = false;
+  double range_lo = 0.0;
+  double range_hi = 64.0;
+};
+
+/// Applies the acquisition chain to a raw per-cycle power trace.
+[[nodiscard]] std::vector<double> acquire(const std::vector<double>& raw,
+                                          const ScopeParams& params);
+
+}  // namespace reveal::power

@@ -1,0 +1,38 @@
+#include "power/trace_recorder.hpp"
+
+namespace reveal::power {
+
+TraceRecorder::TraceRecorder(const LeakageModel& model, std::uint64_t noise_seed)
+    : model_(model), noise_rng_(noise_seed) {}
+
+void TraceRecorder::on_instruction(const riscv::InstrEvent& event) {
+  for (Watch& w : watches_) {
+    if (w.pc == event.pc) {
+      markers_.push_back({samples_.size(), event.pc, w.tag});
+      if (w.increment) ++w.tag;
+    }
+  }
+  const std::size_t first = samples_.size();
+  model_.append_samples(event, noise_rng_, samples_);
+  const double drift_sigma = model_.params().drift_sigma;
+  if (drift_sigma > 0.0) {
+    // Slow supply/temperature wander: a per-sample random walk riding on
+    // top of the instruction-level power.
+    for (std::size_t i = first; i < samples_.size(); ++i) {
+      drift_ += noise_rng_.gaussian(0.0, drift_sigma);
+      samples_[i] += drift_;
+    }
+  }
+}
+
+void TraceRecorder::watch_pc(std::uint32_t pc, std::uint32_t tag, bool increment) {
+  watches_.push_back({pc, tag, increment});
+}
+
+void TraceRecorder::clear() {
+  samples_.clear();
+  markers_.clear();
+  drift_ = 0.0;
+}
+
+}  // namespace reveal::power

@@ -1,0 +1,54 @@
+#pragma once
+// Glues the ISS observer interface to the leakage model, producing a power
+// trace (one sample per core cycle), plus an optional marker stream used by
+// tests and by ground-truth-aided debugging (never by the attack itself).
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/rng.hpp"
+#include "power/leakage_model.hpp"
+#include "riscv/machine.hpp"
+
+namespace reveal::power {
+
+/// A labelled position in a recorded trace (host-side ground truth).
+struct TraceMarker {
+  std::uint64_t sample_index = 0;
+  std::uint32_t pc = 0;
+  std::uint32_t tag = 0;  ///< victim-defined (e.g. coefficient index)
+};
+
+class TraceRecorder final : public riscv::ExecutionObserver {
+ public:
+  /// `noise_seed` controls the measurement-noise stream for this capture.
+  TraceRecorder(const LeakageModel& model, std::uint64_t noise_seed);
+
+  void on_instruction(const riscv::InstrEvent& event) override;
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+  [[nodiscard]] std::vector<double> take_samples() noexcept { return std::move(samples_); }
+
+  /// Registers a pc to mark: whenever an instruction at `pc` retires, a
+  /// marker with `tag` is appended (tag auto-increments if `increment`).
+  void watch_pc(std::uint32_t pc, std::uint32_t tag, bool increment = false);
+  [[nodiscard]] const std::vector<TraceMarker>& markers() const noexcept { return markers_; }
+
+  void clear();
+
+ private:
+  struct Watch {
+    std::uint32_t pc;
+    std::uint32_t tag;
+    bool increment;
+  };
+
+  const LeakageModel& model_;
+  num::Xoshiro256StarStar noise_rng_;
+  double drift_ = 0.0;  ///< accumulated baseline wander (random walk)
+  std::vector<double> samples_;
+  std::vector<Watch> watches_;
+  std::vector<TraceMarker> markers_;
+};
+
+}  // namespace reveal::power

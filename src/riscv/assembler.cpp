@@ -1,0 +1,218 @@
+#include "riscv/assembler.hpp"
+
+#include <stdexcept>
+
+namespace reveal::riscv {
+
+namespace {
+
+std::uint32_t r_type(std::uint32_t funct7, Reg rs2, Reg rs1, std::uint32_t funct3, Reg rd,
+                     std::uint32_t opcode) {
+  return (funct7 << 25) | (std::uint32_t{index(rs2)} << 20) |
+         (std::uint32_t{index(rs1)} << 15) | (funct3 << 12) |
+         (std::uint32_t{index(rd)} << 7) | opcode;
+}
+
+std::uint32_t i_type(std::int32_t imm, Reg rs1, std::uint32_t funct3, Reg rd,
+                     std::uint32_t opcode) {
+  if (imm < -2048 || imm > 2047)
+    throw std::runtime_error("Assembler: I-type immediate out of range");
+  return (static_cast<std::uint32_t>(imm & 0xFFF) << 20) |
+         (std::uint32_t{index(rs1)} << 15) | (funct3 << 12) |
+         (std::uint32_t{index(rd)} << 7) | opcode;
+}
+
+std::uint32_t s_type(std::int32_t imm, Reg rs2, Reg rs1, std::uint32_t funct3,
+                     std::uint32_t opcode) {
+  if (imm < -2048 || imm > 2047)
+    throw std::runtime_error("Assembler: S-type immediate out of range");
+  const auto u = static_cast<std::uint32_t>(imm & 0xFFF);
+  return ((u >> 5) << 25) | (std::uint32_t{index(rs2)} << 20) |
+         (std::uint32_t{index(rs1)} << 15) | (funct3 << 12) | ((u & 0x1F) << 7) | opcode;
+}
+
+std::uint32_t b_type(std::int32_t offset, Reg rs1, Reg rs2, std::uint32_t funct3) {
+  if (offset < -4096 || offset > 4094 || (offset & 1))
+    throw std::runtime_error("Assembler: branch offset out of range or misaligned");
+  const auto u = static_cast<std::uint32_t>(offset);
+  return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3F) << 25) |
+         (std::uint32_t{index(rs2)} << 20) | (std::uint32_t{index(rs1)} << 15) |
+         (funct3 << 12) | (((u >> 1) & 0xF) << 8) | (((u >> 11) & 1) << 7) | 0x63u;
+}
+
+std::uint32_t j_type(std::int32_t offset, Reg rd) {
+  if (offset < -(1 << 20) || offset >= (1 << 20) || (offset & 1))
+    throw std::runtime_error("Assembler: JAL offset out of range or misaligned");
+  const auto u = static_cast<std::uint32_t>(offset);
+  return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3FF) << 21) | (((u >> 11) & 1) << 20) |
+         (((u >> 12) & 0xFF) << 12) | (std::uint32_t{index(rd)} << 7) | 0x6Fu;
+}
+
+std::uint32_t u_type(std::uint32_t imm20, Reg rd, std::uint32_t opcode) {
+  if (imm20 > 0xFFFFFu) throw std::runtime_error("Assembler: U-type immediate out of range");
+  return (imm20 << 12) | (std::uint32_t{index(rd)} << 7) | opcode;
+}
+
+}  // namespace
+
+void Assembler::label(const std::string& name) {
+  if (!labels_.emplace(name, here()).second)
+    throw std::runtime_error("Assembler: duplicate label '" + name + "'");
+}
+
+std::uint32_t Assembler::address_of(const std::string& name) const {
+  const auto it = labels_.find(name);
+  if (it == labels_.end())
+    throw std::runtime_error("Assembler: unknown label '" + name + "'");
+  return it->second;
+}
+
+void Assembler::lui(Reg rd, std::uint32_t imm20) { emit(u_type(imm20, rd, 0x37)); }
+void Assembler::auipc(Reg rd, std::uint32_t imm20) { emit(u_type(imm20, rd, 0x17)); }
+
+void Assembler::jal(Reg rd, const std::string& target) {
+  fixups_.push_back({words_.size(), target, FixupKind::kJal});
+  emit(j_type(0, rd));
+}
+
+void Assembler::jalr(Reg rd, Reg rs1, std::int32_t imm) {
+  emit(i_type(imm, rs1, 0, rd, 0x67));
+}
+
+#define REVEAL_BRANCH(NAME, F3)                                            \
+  void Assembler::NAME(Reg rs1, Reg rs2, const std::string& target) {      \
+    fixups_.push_back({words_.size(), target, FixupKind::kBranch});        \
+    emit(b_type(0, rs1, rs2, F3));                                         \
+  }
+REVEAL_BRANCH(beq, 0)
+REVEAL_BRANCH(bne, 1)
+REVEAL_BRANCH(blt, 4)
+REVEAL_BRANCH(bge, 5)
+REVEAL_BRANCH(bltu, 6)
+REVEAL_BRANCH(bgeu, 7)
+#undef REVEAL_BRANCH
+
+void Assembler::lb(Reg rd, std::int32_t offset, Reg base) { emit(i_type(offset, base, 0, rd, 0x03)); }
+void Assembler::lh(Reg rd, std::int32_t offset, Reg base) { emit(i_type(offset, base, 1, rd, 0x03)); }
+void Assembler::lw(Reg rd, std::int32_t offset, Reg base) { emit(i_type(offset, base, 2, rd, 0x03)); }
+void Assembler::lbu(Reg rd, std::int32_t offset, Reg base) { emit(i_type(offset, base, 4, rd, 0x03)); }
+void Assembler::lhu(Reg rd, std::int32_t offset, Reg base) { emit(i_type(offset, base, 5, rd, 0x03)); }
+void Assembler::sb(Reg rs2_, std::int32_t offset, Reg base) { emit(s_type(offset, rs2_, base, 0, 0x23)); }
+void Assembler::sh(Reg rs2_, std::int32_t offset, Reg base) { emit(s_type(offset, rs2_, base, 1, 0x23)); }
+void Assembler::sw(Reg rs2_, std::int32_t offset, Reg base) { emit(s_type(offset, rs2_, base, 2, 0x23)); }
+
+void Assembler::addi(Reg rd, Reg rs1, std::int32_t imm) { emit(i_type(imm, rs1, 0, rd, 0x13)); }
+void Assembler::slti(Reg rd, Reg rs1, std::int32_t imm) { emit(i_type(imm, rs1, 2, rd, 0x13)); }
+void Assembler::sltiu(Reg rd, Reg rs1, std::int32_t imm) { emit(i_type(imm, rs1, 3, rd, 0x13)); }
+void Assembler::xori(Reg rd, Reg rs1, std::int32_t imm) { emit(i_type(imm, rs1, 4, rd, 0x13)); }
+void Assembler::ori(Reg rd, Reg rs1, std::int32_t imm) { emit(i_type(imm, rs1, 6, rd, 0x13)); }
+void Assembler::andi(Reg rd, Reg rs1, std::int32_t imm) { emit(i_type(imm, rs1, 7, rd, 0x13)); }
+
+void Assembler::slli(Reg rd, Reg rs1, std::uint32_t shamt) {
+  if (shamt > 31) throw std::runtime_error("Assembler: shift amount out of range");
+  emit(r_type(0x00, static_cast<Reg>(shamt), rs1, 1, rd, 0x13));
+}
+void Assembler::srli(Reg rd, Reg rs1, std::uint32_t shamt) {
+  if (shamt > 31) throw std::runtime_error("Assembler: shift amount out of range");
+  emit(r_type(0x00, static_cast<Reg>(shamt), rs1, 5, rd, 0x13));
+}
+void Assembler::srai(Reg rd, Reg rs1, std::uint32_t shamt) {
+  if (shamt > 31) throw std::runtime_error("Assembler: shift amount out of range");
+  emit(r_type(0x20, static_cast<Reg>(shamt), rs1, 5, rd, 0x13));
+}
+
+void Assembler::add(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x00, rs2_, rs1, 0, rd, 0x33)); }
+void Assembler::sub(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x20, rs2_, rs1, 0, rd, 0x33)); }
+void Assembler::sll(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x00, rs2_, rs1, 1, rd, 0x33)); }
+void Assembler::slt(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x00, rs2_, rs1, 2, rd, 0x33)); }
+void Assembler::sltu(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x00, rs2_, rs1, 3, rd, 0x33)); }
+void Assembler::xor_(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x00, rs2_, rs1, 4, rd, 0x33)); }
+void Assembler::srl(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x00, rs2_, rs1, 5, rd, 0x33)); }
+void Assembler::sra(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x20, rs2_, rs1, 5, rd, 0x33)); }
+void Assembler::or_(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x00, rs2_, rs1, 6, rd, 0x33)); }
+void Assembler::and_(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x00, rs2_, rs1, 7, rd, 0x33)); }
+
+void Assembler::mul(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x01, rs2_, rs1, 0, rd, 0x33)); }
+void Assembler::mulh(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x01, rs2_, rs1, 1, rd, 0x33)); }
+void Assembler::mulhsu(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x01, rs2_, rs1, 2, rd, 0x33)); }
+void Assembler::mulhu(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x01, rs2_, rs1, 3, rd, 0x33)); }
+void Assembler::div(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x01, rs2_, rs1, 4, rd, 0x33)); }
+void Assembler::divu(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x01, rs2_, rs1, 5, rd, 0x33)); }
+void Assembler::rem(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x01, rs2_, rs1, 6, rd, 0x33)); }
+void Assembler::remu(Reg rd, Reg rs1, Reg rs2_) { emit(r_type(0x01, rs2_, rs1, 7, rd, 0x33)); }
+
+void Assembler::ecall() { emit(0x00000073u); }
+void Assembler::ebreak() { emit(0x00100073u); }
+
+void Assembler::csrr(Reg rd, std::uint32_t csr) {
+  if (csr > 0xFFFu) throw std::runtime_error("Assembler: CSR address out of range");
+  emit((csr << 20) | (2u << 12) | (std::uint32_t{index(rd)} << 7) | 0x73u);
+}
+
+void Assembler::li(Reg rd, std::int32_t value) {
+  if (value >= -2048 && value <= 2047) {
+    addi(rd, zero, value);
+    return;
+  }
+  // lui + addi with carry correction: addi sign-extends its 12-bit imm, so
+  // round the upper part up when bit 11 of the low part is set.
+  const auto uvalue = static_cast<std::uint32_t>(value);
+  std::uint32_t hi = uvalue >> 12;
+  const std::int32_t lo = static_cast<std::int32_t>(uvalue << 20) >> 20;
+  if (lo < 0) hi = (hi + 1) & 0xFFFFFu;
+  lui(rd, hi);
+  if (lo != 0) addi(rd, rd, lo);
+}
+
+void Assembler::la(Reg rd, const std::string& target) {
+  fixups_.push_back({words_.size(), target, FixupKind::kLaAuipc});
+  emit(u_type(0, rd, 0x17));  // auipc rd, 0 (patched)
+  fixups_.push_back({words_.size(), target, FixupKind::kLaAddi});
+  emit(i_type(0, rd, 0, rd, 0x13));  // addi rd, rd, 0 (patched)
+}
+
+void Assembler::word(std::uint32_t value) { emit(value); }
+
+std::vector<std::uint32_t> Assembler::assemble() {
+  for (const Fixup& fx : fixups_) {
+    const std::uint32_t target = address_of(fx.target);
+    const std::uint32_t pc = base_ + static_cast<std::uint32_t>(fx.word_index * 4);
+    std::uint32_t w = words_[fx.word_index];
+    switch (fx.kind) {
+      case FixupKind::kBranch: {
+        const auto offset = static_cast<std::int32_t>(target - pc);
+        const Instruction ins = decode(w);
+        w = b_type(offset, static_cast<Reg>(ins.rs1), static_cast<Reg>(ins.rs2),
+                   (w >> 12) & 7u);
+        break;
+      }
+      case FixupKind::kJal: {
+        const auto offset = static_cast<std::int32_t>(target - pc);
+        w = j_type(offset, static_cast<Reg>((w >> 7) & 0x1Fu));
+        break;
+      }
+      case FixupKind::kLaAuipc: {
+        // auipc part of la: offset relative to the auipc itself.
+        const auto offset = static_cast<std::int32_t>(target - pc);
+        const auto uoff = static_cast<std::uint32_t>(offset);
+        std::uint32_t hi = uoff >> 12;
+        const std::int32_t lo = static_cast<std::int32_t>(uoff << 20) >> 20;
+        if (lo < 0) hi = (hi + 1) & 0xFFFFFu;
+        w = (hi << 12) | (w & 0xFFFu);
+        break;
+      }
+      case FixupKind::kLaAddi: {
+        // addi part of la: low 12 bits relative to the preceding auipc.
+        const std::uint32_t auipc_pc = pc - 4;
+        const auto offset = static_cast<std::int32_t>(target - auipc_pc);
+        const std::int32_t lo = static_cast<std::int32_t>(static_cast<std::uint32_t>(offset) << 20) >> 20;
+        w = (w & 0x000FFFFFu) | (static_cast<std::uint32_t>(lo & 0xFFF) << 20);
+        break;
+      }
+    }
+    words_[fx.word_index] = w;
+  }
+  return words_;
+}
+
+}  // namespace reveal::riscv

@@ -1,0 +1,136 @@
+#pragma once
+// Two-pass RV32IM mini-assembler.
+//
+// Programs are built through typed emit methods (one per instruction plus
+// the usual pseudo-instructions); labels are resolved when `assemble()` is
+// called. Data words can be interleaved for lookup tables. This is how the
+// victim Gaussian-sampler firmware is authored (src/core/victim.cpp).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "riscv/isa.hpp"
+
+namespace reveal::riscv {
+
+class Assembler {
+ public:
+  /// Base address the program will be loaded at (labels are absolute).
+  explicit Assembler(std::uint32_t base_address = 0) : base_(base_address) {}
+
+  /// Current emission address.
+  [[nodiscard]] std::uint32_t here() const noexcept {
+    return base_ + static_cast<std::uint32_t>(words_.size() * 4);
+  }
+
+  /// Defines a label at the current address; throws on redefinition.
+  void label(const std::string& name);
+  /// Address of a defined label; throws if (not yet) defined.
+  [[nodiscard]] std::uint32_t address_of(const std::string& name) const;
+
+  // --- U/J-type ---
+  void lui(Reg rd, std::uint32_t imm20);  // imm20 = upper 20 bits value
+  void auipc(Reg rd, std::uint32_t imm20);
+  void jal(Reg rd, const std::string& target);
+  void jalr(Reg rd, Reg rs1, std::int32_t imm);
+
+  // --- branches (to labels) ---
+  void beq(Reg rs1, Reg rs2, const std::string& target);
+  void bne(Reg rs1, Reg rs2, const std::string& target);
+  void blt(Reg rs1, Reg rs2, const std::string& target);
+  void bge(Reg rs1, Reg rs2, const std::string& target);
+  void bltu(Reg rs1, Reg rs2, const std::string& target);
+  void bgeu(Reg rs1, Reg rs2, const std::string& target);
+
+  // --- loads/stores ---
+  void lb(Reg rd, std::int32_t offset, Reg base);
+  void lh(Reg rd, std::int32_t offset, Reg base);
+  void lw(Reg rd, std::int32_t offset, Reg base);
+  void lbu(Reg rd, std::int32_t offset, Reg base);
+  void lhu(Reg rd, std::int32_t offset, Reg base);
+  void sb(Reg rs2, std::int32_t offset, Reg base);
+  void sh(Reg rs2, std::int32_t offset, Reg base);
+  void sw(Reg rs2, std::int32_t offset, Reg base);
+
+  // --- ALU immediate ---
+  void addi(Reg rd, Reg rs1, std::int32_t imm);
+  void slti(Reg rd, Reg rs1, std::int32_t imm);
+  void sltiu(Reg rd, Reg rs1, std::int32_t imm);
+  void xori(Reg rd, Reg rs1, std::int32_t imm);
+  void ori(Reg rd, Reg rs1, std::int32_t imm);
+  void andi(Reg rd, Reg rs1, std::int32_t imm);
+  void slli(Reg rd, Reg rs1, std::uint32_t shamt);
+  void srli(Reg rd, Reg rs1, std::uint32_t shamt);
+  void srai(Reg rd, Reg rs1, std::uint32_t shamt);
+
+  // --- ALU register ---
+  void add(Reg rd, Reg rs1, Reg rs2);
+  void sub(Reg rd, Reg rs1, Reg rs2);
+  void sll(Reg rd, Reg rs1, Reg rs2);
+  void slt(Reg rd, Reg rs1, Reg rs2);
+  void sltu(Reg rd, Reg rs1, Reg rs2);
+  void xor_(Reg rd, Reg rs1, Reg rs2);
+  void srl(Reg rd, Reg rs1, Reg rs2);
+  void sra(Reg rd, Reg rs1, Reg rs2);
+  void or_(Reg rd, Reg rs1, Reg rs2);
+  void and_(Reg rd, Reg rs1, Reg rs2);
+
+  // --- M extension ---
+  void mul(Reg rd, Reg rs1, Reg rs2);
+  void mulh(Reg rd, Reg rs1, Reg rs2);
+  void mulhsu(Reg rd, Reg rs1, Reg rs2);
+  void mulhu(Reg rd, Reg rs1, Reg rs2);
+  void div(Reg rd, Reg rs1, Reg rs2);
+  void divu(Reg rd, Reg rs1, Reg rs2);
+  void rem(Reg rd, Reg rs1, Reg rs2);
+  void remu(Reg rd, Reg rs1, Reg rs2);
+
+  // --- system ---
+  void ecall();
+  void ebreak();
+  /// csrrs rd, csr, x0 — read-only counter access (Zicntr).
+  void csrr(Reg rd, std::uint32_t csr);
+  void rdcycle(Reg rd) { csrr(rd, 0xC00); }
+  void rdinstret(Reg rd) { csrr(rd, 0xC02); }
+
+  // --- pseudo-instructions ---
+  void nop() { addi(zero, zero, 0); }
+  void mv(Reg rd, Reg rs) { addi(rd, rs, 0); }
+  void neg(Reg rd, Reg rs) { sub(rd, zero, rs); }
+  void li(Reg rd, std::int32_t value);  // lui+addi or addi
+  void j(const std::string& target) { jal(zero, target); }
+  void call(const std::string& target) { jal(ra, target); }
+  void ret() { jalr(zero, ra, 0); }
+  void bgtz(Reg rs, const std::string& target) { blt(zero, rs, target); }
+  void bltz(Reg rs, const std::string& target) { blt(rs, zero, target); }
+  void beqz(Reg rs, const std::string& target) { beq(rs, zero, target); }
+  void bnez(Reg rs, const std::string& target) { bne(rs, zero, target); }
+  /// Loads the address of a label (must resolve within ±2^31).
+  void la(Reg rd, const std::string& target);
+
+  /// Emits a raw data word (for constant tables placed after the code).
+  void word(std::uint32_t value);
+
+  /// Resolves all fixups and returns the final words; throws
+  /// std::runtime_error on undefined labels or out-of-range displacements.
+  [[nodiscard]] std::vector<std::uint32_t> assemble();
+
+ private:
+  enum class FixupKind { kBranch, kJal, kLaAuipc, kLaAddi };
+  struct Fixup {
+    std::size_t word_index;
+    std::string target;
+    FixupKind kind;
+  };
+
+  void emit(std::uint32_t w) { words_.push_back(w); }
+
+  std::uint32_t base_;
+  std::vector<std::uint32_t> words_;
+  std::unordered_map<std::string, std::uint32_t> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace reveal::riscv

@@ -1,0 +1,310 @@
+#include "riscv/isa.hpp"
+
+namespace reveal::riscv {
+
+namespace {
+
+constexpr std::uint32_t bits(std::uint32_t w, int hi, int lo) noexcept {
+  return (w >> lo) & ((1u << (hi - lo + 1)) - 1u);
+}
+
+constexpr std::int32_t sign_extend(std::uint32_t v, int width) noexcept {
+  const std::uint32_t m = 1u << (width - 1);
+  return static_cast<std::int32_t>((v ^ m) - m);
+}
+
+std::int32_t imm_i(std::uint32_t w) noexcept { return sign_extend(bits(w, 31, 20), 12); }
+
+std::int32_t imm_s(std::uint32_t w) noexcept {
+  return sign_extend((bits(w, 31, 25) << 5) | bits(w, 11, 7), 12);
+}
+
+std::int32_t imm_b(std::uint32_t w) noexcept {
+  const std::uint32_t v = (bits(w, 31, 31) << 12) | (bits(w, 7, 7) << 11) |
+                          (bits(w, 30, 25) << 5) | (bits(w, 11, 8) << 1);
+  return sign_extend(v, 13);
+}
+
+std::int32_t imm_u(std::uint32_t w) noexcept {
+  return static_cast<std::int32_t>(w & 0xFFFFF000u);
+}
+
+std::int32_t imm_j(std::uint32_t w) noexcept {
+  const std::uint32_t v = (bits(w, 31, 31) << 20) | (bits(w, 19, 12) << 12) |
+                          (bits(w, 20, 20) << 11) | (bits(w, 30, 21) << 1);
+  return sign_extend(v, 21);
+}
+
+}  // namespace
+
+Instruction decode(std::uint32_t word) noexcept {
+  Instruction ins;
+  ins.raw = word;
+  ins.rd = static_cast<std::uint8_t>(bits(word, 11, 7));
+  ins.rs1 = static_cast<std::uint8_t>(bits(word, 19, 15));
+  ins.rs2 = static_cast<std::uint8_t>(bits(word, 24, 20));
+  const std::uint32_t opcode = bits(word, 6, 0);
+  const std::uint32_t funct3 = bits(word, 14, 12);
+  const std::uint32_t funct7 = bits(word, 31, 25);
+
+  switch (opcode) {
+    case 0x37:  // LUI
+      ins.op = Op::kLui;
+      ins.imm = imm_u(word);
+      return ins;
+    case 0x17:  // AUIPC
+      ins.op = Op::kAuipc;
+      ins.imm = imm_u(word);
+      return ins;
+    case 0x6F:  // JAL
+      ins.op = Op::kJal;
+      ins.imm = imm_j(word);
+      return ins;
+    case 0x67:  // JALR
+      if (funct3 != 0) break;
+      ins.op = Op::kJalr;
+      ins.imm = imm_i(word);
+      return ins;
+    case 0x63:  // branches
+      ins.imm = imm_b(word);
+      switch (funct3) {
+        case 0: ins.op = Op::kBeq; return ins;
+        case 1: ins.op = Op::kBne; return ins;
+        case 4: ins.op = Op::kBlt; return ins;
+        case 5: ins.op = Op::kBge; return ins;
+        case 6: ins.op = Op::kBltu; return ins;
+        case 7: ins.op = Op::kBgeu; return ins;
+        default: break;
+      }
+      break;
+    case 0x03:  // loads
+      ins.imm = imm_i(word);
+      switch (funct3) {
+        case 0: ins.op = Op::kLb; return ins;
+        case 1: ins.op = Op::kLh; return ins;
+        case 2: ins.op = Op::kLw; return ins;
+        case 4: ins.op = Op::kLbu; return ins;
+        case 5: ins.op = Op::kLhu; return ins;
+        default: break;
+      }
+      break;
+    case 0x23:  // stores
+      ins.imm = imm_s(word);
+      switch (funct3) {
+        case 0: ins.op = Op::kSb; return ins;
+        case 1: ins.op = Op::kSh; return ins;
+        case 2: ins.op = Op::kSw; return ins;
+        default: break;
+      }
+      break;
+    case 0x13:  // ALU immediate
+      ins.imm = imm_i(word);
+      switch (funct3) {
+        case 0: ins.op = Op::kAddi; return ins;
+        case 2: ins.op = Op::kSlti; return ins;
+        case 3: ins.op = Op::kSltiu; return ins;
+        case 4: ins.op = Op::kXori; return ins;
+        case 6: ins.op = Op::kOri; return ins;
+        case 7: ins.op = Op::kAndi; return ins;
+        case 1:
+          if (funct7 == 0) {
+            ins.op = Op::kSlli;
+            ins.imm = static_cast<std::int32_t>(ins.rs2);
+            return ins;
+          }
+          break;
+        case 5:
+          if (funct7 == 0) {
+            ins.op = Op::kSrli;
+            ins.imm = static_cast<std::int32_t>(ins.rs2);
+            return ins;
+          }
+          if (funct7 == 0x20) {
+            ins.op = Op::kSrai;
+            ins.imm = static_cast<std::int32_t>(ins.rs2);
+            return ins;
+          }
+          break;
+        default: break;
+      }
+      break;
+    case 0x33:  // ALU register / M extension
+      if (funct7 == 0x01) {
+        switch (funct3) {
+          case 0: ins.op = Op::kMul; return ins;
+          case 1: ins.op = Op::kMulh; return ins;
+          case 2: ins.op = Op::kMulhsu; return ins;
+          case 3: ins.op = Op::kMulhu; return ins;
+          case 4: ins.op = Op::kDiv; return ins;
+          case 5: ins.op = Op::kDivu; return ins;
+          case 6: ins.op = Op::kRem; return ins;
+          case 7: ins.op = Op::kRemu; return ins;
+          default: break;
+        }
+        break;
+      }
+      switch (funct3) {
+        case 0:
+          if (funct7 == 0) { ins.op = Op::kAdd; return ins; }
+          if (funct7 == 0x20) { ins.op = Op::kSub; return ins; }
+          break;
+        case 1: if (funct7 == 0) { ins.op = Op::kSll; return ins; } break;
+        case 2: if (funct7 == 0) { ins.op = Op::kSlt; return ins; } break;
+        case 3: if (funct7 == 0) { ins.op = Op::kSltu; return ins; } break;
+        case 4: if (funct7 == 0) { ins.op = Op::kXor; return ins; } break;
+        case 5:
+          if (funct7 == 0) { ins.op = Op::kSrl; return ins; }
+          if (funct7 == 0x20) { ins.op = Op::kSra; return ins; }
+          break;
+        case 6: if (funct7 == 0) { ins.op = Op::kOr; return ins; } break;
+        case 7: if (funct7 == 0) { ins.op = Op::kAnd; return ins; } break;
+        default: break;
+      }
+      break;
+    case 0x0F:  // FENCE
+      ins.op = Op::kFence;
+      return ins;
+    case 0x73:  // SYSTEM
+      if (word == 0x00000073u) { ins.op = Op::kEcall; return ins; }
+      if (word == 0x00100073u) { ins.op = Op::kEbreak; return ins; }
+      if (funct3 == 2) {  // CSRRS (read-only counter reads only)
+        ins.op = Op::kCsrrs;
+        ins.imm = static_cast<std::int32_t>(bits(word, 31, 20));  // CSR address
+        return ins;
+      }
+      break;
+    default:
+      break;
+  }
+  ins.op = Op::kInvalid;
+  return ins;
+}
+
+InstrClass classify(Op op) noexcept {
+  switch (op) {
+    case Op::kLui: case Op::kAuipc:
+    case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+    case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli: case Op::kSrai:
+      return InstrClass::kAluImm;
+    case Op::kAdd: case Op::kSub: case Op::kSll: case Op::kSlt: case Op::kSltu:
+    case Op::kXor: case Op::kSrl: case Op::kSra: case Op::kOr: case Op::kAnd:
+      return InstrClass::kAlu;
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+      return InstrClass::kLoad;
+    case Op::kSb: case Op::kSh: case Op::kSw:
+      return InstrClass::kStore;
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu:
+      return InstrClass::kBranch;
+    case Op::kJal: case Op::kJalr:
+      return InstrClass::kJump;
+    case Op::kMul: case Op::kMulh: case Op::kMulhsu: case Op::kMulhu:
+      return InstrClass::kMul;
+    case Op::kDiv: case Op::kDivu: case Op::kRem: case Op::kRemu:
+      return InstrClass::kDiv;
+    default:
+      return InstrClass::kSystem;
+  }
+}
+
+std::string_view mnemonic(Op op) noexcept {
+  switch (op) {
+    case Op::kLui: return "lui";
+    case Op::kAuipc: return "auipc";
+    case Op::kJal: return "jal";
+    case Op::kJalr: return "jalr";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kBltu: return "bltu";
+    case Op::kBgeu: return "bgeu";
+    case Op::kLb: return "lb";
+    case Op::kLh: return "lh";
+    case Op::kLw: return "lw";
+    case Op::kLbu: return "lbu";
+    case Op::kLhu: return "lhu";
+    case Op::kSb: return "sb";
+    case Op::kSh: return "sh";
+    case Op::kSw: return "sw";
+    case Op::kAddi: return "addi";
+    case Op::kSlti: return "slti";
+    case Op::kSltiu: return "sltiu";
+    case Op::kXori: return "xori";
+    case Op::kOri: return "ori";
+    case Op::kAndi: return "andi";
+    case Op::kSlli: return "slli";
+    case Op::kSrli: return "srli";
+    case Op::kSrai: return "srai";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kSll: return "sll";
+    case Op::kSlt: return "slt";
+    case Op::kSltu: return "sltu";
+    case Op::kXor: return "xor";
+    case Op::kSrl: return "srl";
+    case Op::kSra: return "sra";
+    case Op::kOr: return "or";
+    case Op::kAnd: return "and";
+    case Op::kMul: return "mul";
+    case Op::kMulh: return "mulh";
+    case Op::kMulhsu: return "mulhsu";
+    case Op::kMulhu: return "mulhu";
+    case Op::kDiv: return "div";
+    case Op::kDivu: return "divu";
+    case Op::kRem: return "rem";
+    case Op::kRemu: return "remu";
+    case Op::kFence: return "fence";
+    case Op::kCsrrs: return "csrrs";
+    case Op::kEcall: return "ecall";
+    case Op::kEbreak: return "ebreak";
+    case Op::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
+
+std::string_view reg_name(std::uint8_t reg) noexcept {
+  static constexpr std::string_view kNames[32] = {
+      "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  return reg < 32 ? kNames[reg] : "x?";
+}
+
+std::string disassemble(const Instruction& ins) {
+  const std::string rd{reg_name(ins.rd)};
+  const std::string rs1{reg_name(ins.rs1)};
+  const std::string rs2{reg_name(ins.rs2)};
+  const std::string imm = std::to_string(ins.imm);
+  const std::string m{mnemonic(ins.op)};
+  switch (classify(ins.op)) {
+    case InstrClass::kAlu:
+    case InstrClass::kMul:
+    case InstrClass::kDiv:
+      return m + " " + rd + ", " + rs1 + ", " + rs2;
+    case InstrClass::kAluImm:
+      if (ins.op == Op::kLui || ins.op == Op::kAuipc) {
+        return m + " " + rd + ", " +
+               std::to_string(static_cast<std::uint32_t>(ins.imm) >> 12);
+      }
+      return m + " " + rd + ", " + rs1 + ", " + imm;
+    case InstrClass::kLoad:
+      return m + " " + rd + ", " + imm + "(" + rs1 + ")";
+    case InstrClass::kStore:
+      return m + " " + rs2 + ", " + imm + "(" + rs1 + ")";
+    case InstrClass::kBranch:
+      return m + " " + rs1 + ", " + rs2 + ", pc" + (ins.imm >= 0 ? "+" : "") + imm;
+    case InstrClass::kJump:
+      if (ins.op == Op::kJal)
+        return m + " " + rd + ", pc" + (ins.imm >= 0 ? "+" : "") + imm;
+      return m + " " + rd + ", " + imm + "(" + rs1 + ")";
+    case InstrClass::kSystem:
+      return m;
+  }
+  return m;
+}
+
+std::string disassemble(std::uint32_t word) { return disassemble(decode(word)); }
+
+}  // namespace reveal::riscv

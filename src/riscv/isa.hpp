@@ -1,0 +1,111 @@
+#pragma once
+// RV32IM instruction-set definitions shared by the assembler, decoder and
+// executor.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace reveal::riscv {
+
+/// Architectural register names (ABI aliases).
+enum class Reg : std::uint8_t {
+  x0 = 0, x1, x2, x3, x4, x5, x6, x7, x8, x9, x10, x11, x12, x13, x14, x15,
+  x16, x17, x18, x19, x20, x21, x22, x23, x24, x25, x26, x27, x28, x29, x30, x31,
+};
+
+// ABI aliases.
+inline constexpr Reg zero = Reg::x0;
+inline constexpr Reg ra = Reg::x1;
+inline constexpr Reg sp = Reg::x2;
+inline constexpr Reg gp = Reg::x3;
+inline constexpr Reg tp = Reg::x4;
+inline constexpr Reg t0 = Reg::x5;
+inline constexpr Reg t1 = Reg::x6;
+inline constexpr Reg t2 = Reg::x7;
+inline constexpr Reg s0 = Reg::x8;
+inline constexpr Reg s1 = Reg::x9;
+inline constexpr Reg a0 = Reg::x10;
+inline constexpr Reg a1 = Reg::x11;
+inline constexpr Reg a2 = Reg::x12;
+inline constexpr Reg a3 = Reg::x13;
+inline constexpr Reg a4 = Reg::x14;
+inline constexpr Reg a5 = Reg::x15;
+inline constexpr Reg a6 = Reg::x16;
+inline constexpr Reg a7 = Reg::x17;
+inline constexpr Reg s2 = Reg::x18;
+inline constexpr Reg s3 = Reg::x19;
+inline constexpr Reg s4 = Reg::x20;
+inline constexpr Reg s5 = Reg::x21;
+inline constexpr Reg s6 = Reg::x22;
+inline constexpr Reg s7 = Reg::x23;
+inline constexpr Reg s8 = Reg::x24;
+inline constexpr Reg s9 = Reg::x25;
+inline constexpr Reg s10 = Reg::x26;
+inline constexpr Reg s11 = Reg::x27;
+inline constexpr Reg t3 = Reg::x28;
+inline constexpr Reg t4 = Reg::x29;
+inline constexpr Reg t5 = Reg::x30;
+inline constexpr Reg t6 = Reg::x31;
+
+[[nodiscard]] constexpr std::uint8_t index(Reg r) noexcept {
+  return static_cast<std::uint8_t>(r);
+}
+
+/// Fully decoded operations.
+enum class Op : std::uint8_t {
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu,
+  kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  kFence, kEcall, kEbreak,
+  kCsrrs,  // Zicntr counter reads (rdcycle/rdinstret)
+  kInvalid,
+};
+
+/// Coarse instruction classes used by the timing and power models.
+enum class InstrClass : std::uint8_t {
+  kAlu,      // register-register ALU
+  kAluImm,   // register-immediate ALU (incl. LUI/AUIPC)
+  kLoad,
+  kStore,
+  kBranch,
+  kJump,     // JAL/JALR
+  kMul,
+  kDiv,
+  kSystem,   // FENCE/ECALL/EBREAK
+};
+
+/// Decoded instruction fields.
+struct Instruction {
+  Op op = Op::kInvalid;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+  std::uint32_t raw = 0;
+};
+
+/// Decodes a raw 32-bit word; Op::kInvalid on undefined encodings.
+[[nodiscard]] Instruction decode(std::uint32_t word) noexcept;
+
+/// Instruction class of an op (used by timing/power models).
+[[nodiscard]] InstrClass classify(Op op) noexcept;
+
+/// Mnemonic for diagnostics.
+[[nodiscard]] std::string_view mnemonic(Op op) noexcept;
+
+/// ABI register name ("a0", "t3", ...).
+[[nodiscard]] std::string_view reg_name(std::uint8_t reg) noexcept;
+
+/// Human-readable disassembly, e.g. "addi a0, a1, -7" or
+/// "lw t0, 12(sp)". Branch/jump targets are printed as relative offsets.
+[[nodiscard]] std::string disassemble(const Instruction& ins);
+
+/// Decodes and disassembles a raw word.
+[[nodiscard]] std::string disassemble(std::uint32_t word);
+
+}  // namespace reveal::riscv

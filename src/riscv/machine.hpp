@@ -1,0 +1,110 @@
+#pragma once
+// RV32IM instruction-set simulator with a PicoRV32-style multi-cycle timing
+// model and an observer hook that reports per-instruction micro-architectural
+// activity (register/bus toggles) — the raw material for the power model.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "riscv/isa.hpp"
+
+namespace reveal::riscv {
+
+/// Per-instruction cycle costs. Defaults approximate the PicoRV32 "regular"
+/// configuration (non-pipelined fetch/decode/execute, sequential
+/// multiplier) used by the paper's victim at 1.5 MHz.
+struct TimingModel {
+  std::uint32_t alu = 3;
+  std::uint32_t alu_imm = 3;
+  std::uint32_t load = 5;
+  std::uint32_t store = 5;
+  std::uint32_t branch_not_taken = 3;
+  std::uint32_t branch_taken = 5;
+  std::uint32_t jump = 5;
+  std::uint32_t mul = 35;  // bit-serial multiplier
+  std::uint32_t div = 40;  // bit-serial divider
+  std::uint32_t system = 3;
+
+  [[nodiscard]] std::uint32_t cycles_for(InstrClass klass, bool branch_taken) const noexcept;
+};
+
+/// Everything the power model needs to know about one retired instruction.
+struct InstrEvent {
+  std::uint32_t pc = 0;
+  Op op = Op::kInvalid;
+  InstrClass klass = InstrClass::kSystem;
+  std::uint8_t rd = 0;
+  std::uint32_t rs1_val = 0;
+  std::uint32_t rs2_val = 0;
+  std::uint32_t rd_old = 0;      ///< destination register content before write
+  std::uint32_t rd_new = 0;      ///< destination register content after write
+  bool rd_written = false;
+  bool branch_taken = false;
+  std::uint32_t mem_addr = 0;
+  std::uint32_t mem_data = 0;    ///< written (stores) or read (loads) value
+  bool is_mem_read = false;
+  bool is_mem_write = false;
+  std::uint32_t cycles = 0;      ///< from the timing model
+};
+
+/// Receives one callback per retired instruction.
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+  virtual void on_instruction(const InstrEvent& event) = 0;
+};
+
+class Machine {
+ public:
+  enum class StopReason { kHalt, kInstrLimit, kTrap };
+
+  explicit Machine(std::size_t memory_bytes = 256 * 1024,
+                   TimingModel timing = TimingModel{});
+
+  /// Copies program words to `address` and sets the pc there.
+  void load_program(const std::vector<std::uint32_t>& words, std::uint32_t address = 0);
+
+  [[nodiscard]] std::uint32_t reg(Reg r) const noexcept { return regs_[index(r)]; }
+  void set_reg(Reg r, std::uint32_t value) noexcept {
+    if (r != zero) regs_[index(r)] = value;
+  }
+  [[nodiscard]] std::uint32_t pc() const noexcept { return pc_; }
+  void set_pc(std::uint32_t pc) noexcept { pc_ = pc; }
+
+  /// Word-aligned direct memory access for the host (throws on OOB).
+  [[nodiscard]] std::uint32_t load_word(std::uint32_t address) const;
+  void store_word(std::uint32_t address, std::uint32_t value);
+
+  /// Executes until EBREAK/ECALL, the instruction limit, or a trap.
+  StopReason run(std::uint64_t max_instructions, ExecutionObserver* observer = nullptr);
+
+  [[nodiscard]] std::uint64_t cycle_count() const noexcept { return cycles_; }
+  [[nodiscard]] std::uint64_t retired_count() const noexcept { return retired_; }
+  [[nodiscard]] const std::string& trap_message() const noexcept { return trap_message_; }
+  [[nodiscard]] const TimingModel& timing() const noexcept { return timing_; }
+
+  /// Resets registers, pc and counters (memory is preserved).
+  void reset() noexcept;
+
+ private:
+  /// Executes one instruction; returns false to stop (halt or trap).
+  bool step(ExecutionObserver* observer);
+
+  [[nodiscard]] bool in_bounds(std::uint32_t address, std::uint32_t size) const noexcept {
+    return static_cast<std::uint64_t>(address) + size <= memory_.size();
+  }
+  bool trap(const std::string& message);
+
+  std::vector<std::uint8_t> memory_;
+  std::uint32_t regs_[32] = {};
+  std::uint32_t pc_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t retired_ = 0;
+  bool halted_ = false;
+  bool trapped_ = false;
+  std::string trap_message_;
+  TimingModel timing_;
+};
+
+}  // namespace reveal::riscv

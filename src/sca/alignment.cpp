@@ -1,0 +1,95 @@
+#include "sca/alignment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reveal::sca {
+
+namespace {
+
+/// Pearson correlation of reference[i] vs trace[i + delay] over the valid
+/// overlap; returns -2 if the overlap is shorter than `min_overlap`.
+double correlation_at_delay(const std::vector<double>& reference,
+                            const std::vector<double>& trace, std::ptrdiff_t delay,
+                            std::size_t min_overlap) {
+  const std::ptrdiff_t ref_n = static_cast<std::ptrdiff_t>(reference.size());
+  const std::ptrdiff_t trace_n = static_cast<std::ptrdiff_t>(trace.size());
+  const std::ptrdiff_t begin = std::max<std::ptrdiff_t>(0, -delay);
+  const std::ptrdiff_t end = std::min(ref_n, trace_n - delay);
+  if (end - begin < static_cast<std::ptrdiff_t>(min_overlap)) return -2.0;
+
+  const auto len = static_cast<double>(end - begin);
+  double mr = 0.0, mt = 0.0;
+  for (std::ptrdiff_t i = begin; i < end; ++i) {
+    mr += reference[static_cast<std::size_t>(i)];
+    mt += trace[static_cast<std::size_t>(i + delay)];
+  }
+  mr /= len;
+  mt /= len;
+  double num = 0.0, dr = 0.0, dt = 0.0;
+  for (std::ptrdiff_t i = begin; i < end; ++i) {
+    const double xr = reference[static_cast<std::size_t>(i)] - mr;
+    const double xt = trace[static_cast<std::size_t>(i + delay)] - mt;
+    num += xr * xt;
+    dr += xr * xr;
+    dt += xt * xt;
+  }
+  const double denom = std::sqrt(dr * dt);
+  return denom > 0.0 ? num / denom : 0.0;
+}
+
+}  // namespace
+
+AlignmentResult find_alignment(const std::vector<double>& reference,
+                               const std::vector<double>& trace,
+                               std::size_t max_shift) {
+  if (reference.empty() || trace.empty())
+    throw std::invalid_argument("find_alignment: empty input");
+  const std::size_t min_overlap =
+      std::max<std::size_t>(8, std::min(reference.size(), trace.size()) / 4);
+
+  AlignmentResult best;
+  best.correlation = -2.0;
+  bool any = false;
+  for (std::ptrdiff_t delay = -static_cast<std::ptrdiff_t>(max_shift);
+       delay <= static_cast<std::ptrdiff_t>(max_shift); ++delay) {
+    const double corr = correlation_at_delay(reference, trace, delay, min_overlap);
+    if (corr <= -2.0) continue;
+    any = true;
+    if (corr > best.correlation) {
+      best.correlation = corr;
+      // trace[i + delay] matches reference[i]: shifting the trace content
+      // by -delay puts it on the reference time base.
+      best.shift = -delay;
+    }
+  }
+  if (!any) throw std::invalid_argument("find_alignment: max_shift leaves no overlap");
+  return best;
+}
+
+std::vector<double> apply_shift(const std::vector<double>& samples, std::ptrdiff_t shift) {
+  std::vector<double> out(samples.size());
+  const auto n = static_cast<std::ptrdiff_t>(samples.size());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    std::ptrdiff_t src = i - shift;
+    if (src < 0) src = 0;
+    if (src >= n) src = n - 1;
+    out[static_cast<std::size_t>(i)] = samples[static_cast<std::size_t>(src)];
+  }
+  return out;
+}
+
+std::vector<AlignmentResult> align_set(TraceSet& set, const std::vector<double>& reference,
+                                       std::size_t max_shift) {
+  std::vector<AlignmentResult> results;
+  results.reserve(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const AlignmentResult r = find_alignment(reference, set[i].samples, max_shift);
+    set[i].samples = apply_shift(set[i].samples, r.shift);
+    results.push_back(r);
+  }
+  return results;
+}
+
+}  // namespace reveal::sca

@@ -1,0 +1,42 @@
+#pragma once
+// Static trace alignment.
+//
+// Real acquisitions start at a jittery trigger; before any per-sample
+// statistic (t-tests, templates) traces must be shifted onto a common time
+// base. Cross-correlation against a reference pattern is the standard
+// first-order fix; our segmentation is per-trace and therefore robust to a
+// global offset, but the tooling is provided (and tested) for workflows
+// that operate on raw trace sets.
+
+#include <cstddef>
+#include <vector>
+
+#include "sca/trace.hpp"
+
+namespace reveal::sca {
+
+struct AlignmentResult {
+  std::ptrdiff_t shift = 0;    ///< samples the trace was moved by (+ = right)
+  double correlation = 0.0;    ///< normalized correlation at the best shift
+};
+
+/// Finds the shift of `trace` (within ±max_shift) that maximizes the
+/// normalized cross-correlation with `reference`, comparing over the
+/// overlapping region. Throws std::invalid_argument on empty inputs or if
+/// max_shift leaves no overlap.
+[[nodiscard]] AlignmentResult find_alignment(const std::vector<double>& reference,
+                                             const std::vector<double>& trace,
+                                             std::size_t max_shift);
+
+/// Applies a shift: positive moves content right (prepends edge padding),
+/// negative moves left; output has the same length as the input.
+[[nodiscard]] std::vector<double> apply_shift(const std::vector<double>& samples,
+                                              std::ptrdiff_t shift);
+
+/// Aligns every trace of `set` to `reference` in place; returns the
+/// per-trace results.
+std::vector<AlignmentResult> align_set(TraceSet& set,
+                                       const std::vector<double>& reference,
+                                       std::size_t max_shift);
+
+}  // namespace reveal::sca

@@ -1,0 +1,115 @@
+#include "sca/clustering.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "numeric/rng.hpp"
+
+namespace reveal::sca {
+
+namespace {
+
+double distance_sq(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& points, std::size_t k,
+                    std::size_t max_iterations, std::uint64_t seed) {
+  if (points.empty() || k == 0 || k > points.size())
+    throw std::invalid_argument("kmeans: bad point count or k");
+  const std::size_t dim = points.front().size();
+  for (const auto& p : points) {
+    if (p.size() != dim) throw std::invalid_argument("kmeans: ragged points");
+  }
+
+  // Farthest-point (k-means++-flavoured) seeding, deterministic.
+  num::Xoshiro256StarStar rng(seed);
+  KMeansResult result;
+  result.centroids.push_back(points[rng.uniform_below(points.size())]);
+  while (result.centroids.size() < k) {
+    std::size_t best_point = 0;
+    double best_dist = -1.0;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      double nearest = std::numeric_limits<double>::max();
+      for (const auto& c : result.centroids) {
+        nearest = std::min(nearest, distance_sq(points[p], c));
+      }
+      if (nearest > best_dist) {
+        best_dist = nearest;
+        best_point = p;
+      }
+    }
+    result.centroids.push_back(points[best_point]);
+  }
+
+  result.assignment.assign(points.size(), 0);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    ++result.iterations;
+    // Assign.
+    bool changed = false;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      std::size_t best = 0;
+      double best_dist = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = distance_sq(points[p], result.centroids[c]);
+        if (d < best_dist) {
+          best_dist = d;
+          best = c;
+        }
+      }
+      if (result.assignment[p] != best) {
+        result.assignment[p] = best;
+        changed = true;
+      }
+    }
+    // Update.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const std::size_t c = result.assignment[p];
+      for (std::size_t i = 0; i < dim; ++i) sums[c][i] += points[p][i];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep the old centroid for empty clusters
+      for (std::size_t i = 0; i < dim; ++i) {
+        result.centroids[c][i] = sums[c][i] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    result.inertia += distance_sq(points[p], result.centroids[result.assignment[p]]);
+  }
+  return result;
+}
+
+double cluster_purity(const std::vector<std::size_t>& assignment,
+                      const std::vector<int>& labels) {
+  if (assignment.size() != labels.size() || assignment.empty())
+    throw std::invalid_argument("cluster_purity: size mismatch or empty");
+  std::map<std::size_t, std::map<int, std::size_t>> counts;
+  for (std::size_t p = 0; p < assignment.size(); ++p) {
+    ++counts[assignment[p]][labels[p]];
+  }
+  std::size_t matched = 0;
+  for (const auto& [cluster, label_counts] : counts) {
+    std::size_t majority = 0;
+    for (const auto& [label, count] : label_counts) majority = std::max(majority, count);
+    matched += majority;
+  }
+  return static_cast<double>(matched) / static_cast<double>(assignment.size());
+}
+
+}  // namespace reveal::sca

@@ -1,0 +1,37 @@
+#pragma once
+// Unsupervised clustering for non-profiled horizontal attacks.
+//
+// The paper's attack is a template attack (requires a profiling device,
+// §II-B). k-means over the per-coefficient windows removes that
+// requirement for the *sign* leak: the three branch patterns are so
+// separable that they form clean clusters without any labels — a stronger
+// threat model worth quantifying (and the basis of classic horizontal
+// attacks the paper cites, e.g. Aysu et al. [19]).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reveal::sca {
+
+struct KMeansResult {
+  std::vector<std::size_t> assignment;        ///< per-point cluster index
+  std::vector<std::vector<double>> centroids; ///< k centroids
+  double inertia = 0.0;                       ///< sum of squared distances
+  std::size_t iterations = 0;
+};
+
+/// Lloyd's k-means with k-means++-style farthest-point seeding, fixed seed
+/// for determinism. Throws std::invalid_argument on empty input, k = 0,
+/// k > points, or ragged point dimensions.
+[[nodiscard]] KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                                  std::size_t k, std::size_t max_iterations = 50,
+                                  std::uint64_t seed = 1);
+
+/// Clustering purity against ground-truth labels: for each cluster take its
+/// majority label; purity = fraction of points matching their cluster's
+/// majority. 1.0 = perfect separation.
+[[nodiscard]] double cluster_purity(const std::vector<std::size_t>& assignment,
+                                    const std::vector<int>& labels);
+
+}  // namespace reveal::sca

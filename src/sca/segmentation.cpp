@@ -1,0 +1,67 @@
+#include "sca/segmentation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace reveal::sca {
+
+std::vector<double> smooth(const std::vector<double>& samples, std::size_t window) {
+  if (window == 0) throw std::invalid_argument("smooth: window must be >= 1");
+  if (window == 1) return samples;
+  std::vector<double> out(samples.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    acc += samples[i];
+    if (i >= window) acc -= samples[i - window];
+    out[i] = acc / static_cast<double>(std::min(i + 1, window));
+  }
+  return out;
+}
+
+double auto_threshold(const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("auto_threshold: empty trace");
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double lo = sorted[sorted.size() * 20 / 100];
+  const double hi = sorted[std::min(sorted.size() - 1, sorted.size() * 95 / 100)];
+  return 0.5 * (lo + hi);
+}
+
+std::vector<Segment> segment_trace(const std::vector<double>& samples,
+                                   const SegmentationConfig& config) {
+  if (samples.empty()) return {};
+  const std::vector<double> s = smooth(samples, config.smooth_window);
+  const double threshold = config.threshold > 0.0 ? config.threshold : auto_threshold(s);
+
+  // Find bursts: maximal runs above threshold of sufficient length.
+  struct Burst {
+    std::size_t begin, end;
+  };
+  std::vector<Burst> bursts;
+  std::size_t run_start = 0;
+  bool in_run = false;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    const bool above = i < s.size() && s[i] > threshold;
+    if (above && !in_run) {
+      run_start = i;
+      in_run = true;
+    } else if (!above && in_run) {
+      if (i - run_start >= config.min_burst_length) bursts.push_back({run_start, i});
+      in_run = false;
+    }
+  }
+
+  std::vector<Segment> segments;
+  segments.reserve(bursts.size());
+  for (std::size_t b = 0; b < bursts.size(); ++b) {
+    Segment seg;
+    seg.burst_begin = bursts[b].begin;
+    seg.burst_end = bursts[b].end;
+    seg.window_begin = bursts[b].end;
+    seg.window_end = b + 1 < bursts.size() ? bursts[b + 1].begin : samples.size();
+    segments.push_back(seg);
+  }
+  return segments;
+}
+
+}  // namespace reveal::sca

@@ -1,0 +1,46 @@
+#pragma once
+// Trace segmentation (paper §III-C, Fig. 3a).
+//
+// The distribution-function call of every coefficient contains a long
+// high-activity burst (on the real target: soft-float arithmetic; on our
+// victim: the 35-cycle sequential multiply of the scaling step). These
+// bursts are "distinguishable and visible peaks" that delimit each
+// coefficient's sampling window. Because the distribution call is
+// time-variant, windows must be found per trace — no fixed stride works.
+
+#include <cstddef>
+#include <vector>
+
+namespace reveal::sca {
+
+struct SegmentationConfig {
+  std::size_t smooth_window = 5;   ///< moving-average width before detection
+  double threshold = 0.0;          ///< power level splitting burst/non-burst;
+                                   ///< <= 0 selects automatic (midrange)
+  std::size_t min_burst_length = 16;  ///< shortest run accepted as a burst
+};
+
+/// One per-coefficient window: [begin, end) sample indices of the region
+/// between the end of this coefficient's distribution burst and the start
+/// of the next one (i.e. the sign-assignment code the attack targets),
+/// plus the burst's own extent.
+struct Segment {
+  std::size_t burst_begin = 0;
+  std::size_t burst_end = 0;   ///< one past the last burst sample
+  std::size_t window_begin = 0;
+  std::size_t window_end = 0;
+};
+
+/// Locates all sampling windows in a single power trace. Returns segments
+/// in trace order; the final window extends to the trace end.
+[[nodiscard]] std::vector<Segment> segment_trace(const std::vector<double>& samples,
+                                                 const SegmentationConfig& config = {});
+
+/// Moving average smoothing (window >= 1; window 1 copies).
+[[nodiscard]] std::vector<double> smooth(const std::vector<double>& samples,
+                                         std::size_t window);
+
+/// Midpoint between the 20th and 95th percentile — the automatic threshold.
+[[nodiscard]] double auto_threshold(const std::vector<double>& samples);
+
+}  // namespace reveal::sca

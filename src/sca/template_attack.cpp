@@ -1,0 +1,94 @@
+#include "sca/template_attack.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/distributions.hpp"
+
+namespace reveal::sca {
+
+TemplateSet::TemplateSet(std::vector<ClassTemplate> classes, num::Matrix pooled_covariance)
+    : classes_(std::move(classes)) {
+  if (classes_.empty()) throw std::invalid_argument("TemplateSet: no classes");
+  dim_ = classes_.front().mean.size();
+  for (const auto& c : classes_) {
+    if (c.mean.size() != dim_)
+      throw std::invalid_argument("TemplateSet: inconsistent template dimensions");
+  }
+  if (pooled_covariance.rows() != dim_ || pooled_covariance.cols() != dim_)
+    throw std::invalid_argument("TemplateSet: covariance shape mismatch");
+  log_det_ = num::log_det_spd(pooled_covariance);  // throws if not SPD
+  inv_covariance_ = num::invert_spd(pooled_covariance);
+}
+
+std::vector<double> TemplateSet::log_scores(const std::vector<double>& observation) const {
+  if (observation.size() != dim_)
+    throw std::invalid_argument("TemplateSet::log_scores: dimension mismatch");
+  std::vector<double> scores;
+  scores.reserve(classes_.size());
+  std::vector<double> diff(dim_);
+  for (const auto& c : classes_) {
+    for (std::size_t i = 0; i < dim_; ++i) diff[i] = observation[i] - c.mean[i];
+    // -1/2 (x-mu)^T Sigma^{-1} (x-mu) - 1/2 log det Sigma (+ const dropped).
+    double maha = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      double row = 0.0;
+      for (std::size_t j = 0; j < dim_; ++j) row += inv_covariance_(i, j) * diff[j];
+      maha += diff[i] * row;
+    }
+    scores.push_back(-0.5 * maha - 0.5 * log_det_);
+  }
+  return scores;
+}
+
+std::vector<double> TemplateSet::posterior(const std::vector<double>& observation) const {
+  return num::log_scores_to_posterior(log_scores(observation));
+}
+
+std::int32_t TemplateSet::classify(const std::vector<double>& observation) const {
+  const std::vector<double> scores = log_scores(observation);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) best = i;
+  }
+  return classes_[best].label;
+}
+
+std::vector<std::int32_t> TemplateSet::labels() const {
+  std::vector<std::int32_t> out;
+  out.reserve(classes_.size());
+  for (const auto& c : classes_) out.push_back(c.label);
+  return out;
+}
+
+TemplateBuilder::TemplateBuilder(std::size_t dim) : dim_(dim) {
+  if (dim == 0) throw std::invalid_argument("TemplateBuilder: dim must be >= 1");
+}
+
+void TemplateBuilder::add(std::int32_t label, const std::vector<double>& observation) {
+  if (observation.size() != dim_)
+    throw std::invalid_argument("TemplateBuilder::add: dimension mismatch");
+  auto [it, inserted] = per_class_.try_emplace(label, dim_);
+  it->second.add(observation);
+  ++total_;
+}
+
+TemplateSet TemplateBuilder::build(double ridge) const {
+  if (per_class_.size() < 2)
+    throw std::runtime_error("TemplateBuilder::build: need at least 2 classes");
+  std::vector<TemplateSet::ClassTemplate> classes;
+  num::Matrix pooled(dim_, dim_);
+  std::size_t dof = 0;
+  for (const auto& [label, cov] : per_class_) {
+    if (cov.count() < 2)
+      throw std::runtime_error("TemplateBuilder::build: class with < 2 observations");
+    classes.push_back({label, cov.mean(), cov.count()});
+    pooled = pooled + cov.scatter();
+    dof += cov.count() - 1;
+  }
+  pooled *= 1.0 / static_cast<double>(dof);
+  num::add_ridge(pooled, ridge);
+  return TemplateSet(std::move(classes), std::move(pooled));
+}
+
+}  // namespace reveal::sca

@@ -1,0 +1,76 @@
+#pragma once
+// Multivariate-Gaussian template attack (Chari et al., paper §III-D).
+//
+// TemplateBuilder accumulates POI vectors per class; build() produces a
+// TemplateSet with per-class means and a pooled covariance (pooling keeps
+// the estimate well-conditioned with modest profiling counts; a ridge term
+// guards against degenerate POIs). TemplateSet::log_scores returns the
+// per-class log-likelihoods of an observation; posterior() turns them into
+// probabilities — the raw material for the "LWE with hints" integration.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+#include "numeric/stats.hpp"
+#include "sca/trace.hpp"
+
+namespace reveal::sca {
+
+class TemplateSet {
+ public:
+  struct ClassTemplate {
+    std::int32_t label = 0;
+    std::vector<double> mean;
+    std::size_t count = 0;
+  };
+
+  TemplateSet(std::vector<ClassTemplate> classes, num::Matrix pooled_covariance);
+
+  [[nodiscard]] const std::vector<ClassTemplate>& classes() const noexcept {
+    return classes_;
+  }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+  /// Log-likelihood of `observation` under each class template (same order
+  /// as classes()).
+  [[nodiscard]] std::vector<double> log_scores(const std::vector<double>& observation) const;
+
+  /// Posterior probabilities (uniform prior) aligned with classes().
+  [[nodiscard]] std::vector<double> posterior(const std::vector<double>& observation) const;
+
+  /// Label with maximal likelihood.
+  [[nodiscard]] std::int32_t classify(const std::vector<double>& observation) const;
+
+  /// Labels in template order.
+  [[nodiscard]] std::vector<std::int32_t> labels() const;
+
+ private:
+  std::vector<ClassTemplate> classes_;
+  num::Matrix inv_covariance_;
+  double log_det_ = 0.0;
+  std::size_t dim_ = 0;
+};
+
+class TemplateBuilder {
+ public:
+  /// `dim` = POI count of every observation.
+  explicit TemplateBuilder(std::size_t dim);
+
+  /// Adds one profiling observation for `label`.
+  void add(std::int32_t label, const std::vector<double>& observation);
+
+  [[nodiscard]] std::size_t total_count() const noexcept { return total_; }
+
+  /// Builds the template set; `ridge` is added to the pooled covariance
+  /// diagonal. Throws std::runtime_error if any class has < 2 observations.
+  [[nodiscard]] TemplateSet build(double ridge = 1e-6) const;
+
+ private:
+  std::size_t dim_;
+  std::size_t total_ = 0;
+  std::map<std::int32_t, num::RunningCovariance> per_class_;
+};
+
+}  // namespace reveal::sca

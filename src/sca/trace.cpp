@@ -1,0 +1,87 @@
+#include "sca/trace.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace reveal::sca {
+
+std::size_t TraceSet::min_length() const noexcept {
+  if (traces_.empty()) return 0;
+  std::size_t m = std::numeric_limits<std::size_t>::max();
+  for (const Trace& t : traces_) m = std::min(m, t.size());
+  return m;
+}
+
+namespace {
+constexpr char kMagic[4] = {'R', 'V', 'L', 'T'};
+}
+
+void TraceSet::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("TraceSet::save: cannot open " + path);
+  out.write(kMagic, 4);
+  const std::uint64_t count = traces_.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Trace& t : traces_) {
+    out.write(reinterpret_cast<const char*>(&t.label), sizeof(t.label));
+    const std::uint64_t n = t.samples.size();
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(t.samples.data()),
+              static_cast<std::streamsize>(n * sizeof(double)));
+  }
+  if (!out) throw std::runtime_error("TraceSet::save: write failed for " + path);
+}
+
+TraceSet TraceSet::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("TraceSet::load: cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("TraceSet::load: bad magic in " + path);
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  TraceSet set;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Trace t;
+    in.read(reinterpret_cast<char*>(&t.label), sizeof(t.label));
+    std::uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!in) throw std::runtime_error("TraceSet::load: truncated file " + path);
+    t.samples.resize(n);
+    in.read(reinterpret_cast<char*>(t.samples.data()),
+            static_cast<std::streamsize>(n * sizeof(double)));
+    if (!in) throw std::runtime_error("TraceSet::load: truncated file " + path);
+    set.add(std::move(t));
+  }
+  return set;
+}
+
+void normalize(Trace& trace) noexcept {
+  if (trace.samples.empty()) return;
+  double mean = 0.0;
+  for (double v : trace.samples) mean += v;
+  mean /= static_cast<double>(trace.samples.size());
+  double var = 0.0;
+  for (double v : trace.samples) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(trace.samples.size());
+  const double sd = std::sqrt(var);
+  if (sd == 0.0) return;
+  for (double& v : trace.samples) v = (v - mean) / sd;
+}
+
+std::vector<double> mean_trace(const TraceSet& set) {
+  if (set.empty()) throw std::invalid_argument("mean_trace: empty trace set");
+  const std::size_t len = set.min_length();
+  std::vector<double> mean(len, 0.0);
+  for (const Trace& t : set) {
+    for (std::size_t i = 0; i < len; ++i) mean[i] += t.samples[i];
+  }
+  for (double& v : mean) v /= static_cast<double>(set.size());
+  return mean;
+}
+
+}  // namespace reveal::sca

@@ -1,0 +1,158 @@
+#include "sca/tvla.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace reveal::sca {
+
+namespace {
+
+/// Per-sample mean and variance of a population over the first `len` points.
+void population_stats(const TraceSet& set, std::size_t len, std::vector<double>& mean,
+                      std::vector<double>& var) {
+  mean.assign(len, 0.0);
+  var.assign(len, 0.0);
+  const auto n = static_cast<double>(set.size());
+  for (const Trace& t : set) {
+    for (std::size_t i = 0; i < len; ++i) mean[i] += t.samples[i];
+  }
+  for (double& m : mean) m /= n;
+  for (const Trace& t : set) {
+    for (std::size_t i = 0; i < len; ++i) {
+      const double d = t.samples[i] - mean[i];
+      var[i] += d * d;
+    }
+  }
+  for (double& v : var) v /= (n - 1.0);
+}
+
+}  // namespace
+
+std::vector<double> welch_t_test(const TraceSet& a, const TraceSet& b) {
+  if (a.size() < 2 || b.size() < 2)
+    throw std::invalid_argument("welch_t_test: each population needs >= 2 traces");
+  const std::size_t len = std::min(a.min_length(), b.min_length());
+  if (len == 0) throw std::invalid_argument("welch_t_test: empty traces");
+
+  std::vector<double> mean_a, var_a, mean_b, var_b;
+  population_stats(a, len, mean_a, var_a);
+  population_stats(b, len, mean_b, var_b);
+
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+  std::vector<double> t(len, 0.0);
+  for (std::size_t i = 0; i < len; ++i) {
+    const double denom = std::sqrt(var_a[i] / na + var_b[i] / nb);
+    t[i] = denom > 0.0 ? (mean_a[i] - mean_b[i]) / denom : 0.0;
+  }
+  return t;
+}
+
+TvlaReport tvla_assess(const TraceSet& a, const TraceSet& b) {
+  TvlaReport report;
+  report.t_values = welch_t_test(a, b);
+  for (std::size_t i = 0; i < report.t_values.size(); ++i) {
+    const double abs_t = std::fabs(report.t_values[i]);
+    if (abs_t > report.max_abs_t) {
+      report.max_abs_t = abs_t;
+      report.max_index = i;
+    }
+    if (abs_t > kTvlaThreshold) ++report.leaking_points;
+  }
+  return report;
+}
+
+std::vector<double> welch_t_test_second_order(const TraceSet& a, const TraceSet& b) {
+  if (a.size() < 2 || b.size() < 2)
+    throw std::invalid_argument("welch_t_test_second_order: each population needs >= 2 traces");
+  const std::size_t len = std::min(a.min_length(), b.min_length());
+  if (len == 0) throw std::invalid_argument("welch_t_test_second_order: empty traces");
+
+  auto squared_centered = [len](const TraceSet& set) {
+    std::vector<double> mean, var;
+    population_stats(set, len, mean, var);
+    TraceSet out;
+    for (const Trace& t : set) {
+      Trace s;
+      s.samples.resize(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        const double d = t.samples[i] - mean[i];
+        s.samples[i] = d * d;
+      }
+      out.add(std::move(s));
+    }
+    return out;
+  };
+  const TraceSet sa = squared_centered(a);
+  const TraceSet sb = squared_centered(b);
+  return welch_t_test(sa, sb);
+}
+
+std::vector<double> cpa_correlation(const TraceSet& traces,
+                                    const std::vector<double>& hypotheses) {
+  if (traces.size() != hypotheses.size())
+    throw std::invalid_argument("cpa_correlation: trace/hypothesis count mismatch");
+  if (traces.size() < 3)
+    throw std::invalid_argument("cpa_correlation: need >= 3 traces");
+  const std::size_t len = traces.min_length();
+  if (len == 0) throw std::invalid_argument("cpa_correlation: empty traces");
+
+  const auto n = static_cast<double>(traces.size());
+  const double h_mean =
+      std::accumulate(hypotheses.begin(), hypotheses.end(), 0.0) / n;
+  double h_var = 0.0;
+  for (const double h : hypotheses) h_var += (h - h_mean) * (h - h_mean);
+
+  std::vector<double> t_mean(len, 0.0);
+  for (const Trace& t : traces) {
+    for (std::size_t i = 0; i < len; ++i) t_mean[i] += t.samples[i];
+  }
+  for (double& m : t_mean) m /= n;
+
+  std::vector<double> cov(len, 0.0);
+  std::vector<double> t_var(len, 0.0);
+  for (std::size_t k = 0; k < traces.size(); ++k) {
+    const double hd = hypotheses[k] - h_mean;
+    const Trace& t = traces[k];
+    for (std::size_t i = 0; i < len; ++i) {
+      const double td = t.samples[i] - t_mean[i];
+      cov[i] += hd * td;
+      t_var[i] += td * td;
+    }
+  }
+  std::vector<double> rho(len, 0.0);
+  for (std::size_t i = 0; i < len; ++i) {
+    const double denom = std::sqrt(h_var * t_var[i]);
+    rho[i] = denom > 0.0 ? cov[i] / denom : 0.0;
+  }
+  return rho;
+}
+
+std::vector<CpaPeak> cpa_peaks(const std::vector<double>& correlations, std::size_t count,
+                               std::size_t min_spacing) {
+  if (min_spacing == 0) min_spacing = 1;
+  std::vector<std::size_t> order(correlations.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&correlations](std::size_t x, std::size_t y) {
+    return std::fabs(correlations[x]) > std::fabs(correlations[y]);
+  });
+  std::vector<CpaPeak> peaks;
+  for (const std::size_t idx : order) {
+    if (peaks.size() >= count) break;
+    if (correlations[idx] == 0.0) break;  // order is by magnitude: all zero from here
+    bool ok = true;
+    for (const CpaPeak& p : peaks) {
+      const std::size_t gap = idx > p.index ? idx - p.index : p.index - idx;
+      if (gap < min_spacing) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) peaks.push_back({idx, correlations[idx]});
+  }
+  return peaks;
+}
+
+}  // namespace reveal::sca

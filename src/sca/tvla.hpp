@@ -1,0 +1,66 @@
+#pragma once
+// TVLA-style leakage assessment (Welch's t-test) and first-order CPA
+// (correlation power analysis).
+//
+// The t-test is the standard certification methodology: split traces into
+// two populations (e.g. fixed vs random input, or here: positive vs
+// negative sampled coefficient) and flag every sample point where
+// |t| > 4.5 — evidence of first-order leakage. CPA correlates a leakage
+// hypothesis (e.g. the Hamming weight of the stored value) against every
+// sample point; peaks locate the leaking instructions, which is an
+// alternative to SOSD for point-of-interest selection.
+
+#include <cstddef>
+#include <vector>
+
+#include "sca/trace.hpp"
+
+namespace reveal::sca {
+
+/// The conventional TVLA pass/fail threshold.
+inline constexpr double kTvlaThreshold = 4.5;
+
+/// Welch's t statistic per sample point between two trace populations
+/// (truncated to the common minimum length). Throws std::invalid_argument
+/// if either population has fewer than 2 traces.
+[[nodiscard]] std::vector<double> welch_t_test(const TraceSet& population_a,
+                                               const TraceSet& population_b);
+
+struct TvlaReport {
+  std::vector<double> t_values;
+  double max_abs_t = 0.0;
+  std::size_t max_index = 0;
+  std::size_t leaking_points = 0;  ///< samples with |t| > kTvlaThreshold
+  [[nodiscard]] bool leaks() const noexcept { return max_abs_t > kTvlaThreshold; }
+};
+
+/// Runs the t-test and summarizes it.
+[[nodiscard]] TvlaReport tvla_assess(const TraceSet& population_a,
+                                     const TraceSet& population_b);
+
+/// First-order CPA: Pearson correlation between a per-trace hypothesis
+/// value (e.g. HW of an intermediate) and each sample point. `hypotheses`
+/// must align with `traces`; returns one correlation per sample point of
+/// the common length. Throws on size mismatch or fewer than 3 traces.
+[[nodiscard]] std::vector<double> cpa_correlation(const TraceSet& traces,
+                                                  const std::vector<double>& hypotheses);
+
+/// Second-order (univariate) t-test: each population's traces are centered
+/// per sample point with the population mean and squared before the Welch
+/// test — detects leakage hidden in the variance (e.g. a share-masked value
+/// processed at one point).
+[[nodiscard]] std::vector<double> welch_t_test_second_order(const TraceSet& population_a,
+                                                            const TraceSet& population_b);
+
+struct CpaPeak {
+  std::size_t index = 0;
+  double correlation = 0.0;
+};
+
+/// The `count` highest |correlation| sample points, at least `min_spacing`
+/// apart, ordered by decreasing magnitude.
+[[nodiscard]] std::vector<CpaPeak> cpa_peaks(const std::vector<double>& correlations,
+                                             std::size_t count,
+                                             std::size_t min_spacing = 1);
+
+}  // namespace reveal::sca

@@ -1,0 +1,37 @@
+#pragma once
+// BFV decryption: m = [ round(t/q · [c0 + c1·s (+ c2·s²)]_q) ]_t.
+//
+// Works for any number of RNS components: the noisy inner product is
+// CRT-composed into a BigUInt per coefficient, then the exact rational
+// rounding is done with multi-precision arithmetic.
+
+#include <cstdint>
+
+#include "seal/ciphertext.hpp"
+#include "seal/crt.hpp"
+#include "seal/encryption_params.hpp"
+#include "seal/keys.hpp"
+
+namespace reveal::seal {
+
+class Decryptor {
+ public:
+  Decryptor(const Context& context, const SecretKey& sk);
+
+  /// Decrypts a 2- or 3-component ciphertext.
+  [[nodiscard]] Plaintext decrypt(const Ciphertext& ct) const;
+
+  /// Remaining invariant-noise budget in bits (0 = decryption unreliable).
+  /// Mirrors SEAL's Decryptor::invariant_noise_budget.
+  [[nodiscard]] int invariant_noise_budget(const Ciphertext& ct) const;
+
+ private:
+  /// v = c0 + c1 s + c2 s^2 per RNS component (coefficient representation).
+  [[nodiscard]] Poly dot_product_with_secret(const Ciphertext& ct) const;
+
+  const Context& context_;
+  SecretKey sk_;
+  CrtComposer crt_;
+};
+
+}  // namespace reveal::seal

@@ -1,0 +1,60 @@
+#include "seal/dgauss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/distributions.hpp"
+
+namespace reveal::seal {
+
+CdtSampler::CdtSampler(double sigma, double max_deviation) : sigma_(sigma) {
+  if (!(sigma > 0.0) || !(max_deviation > 0.0))
+    throw std::invalid_argument("CdtSampler: sigma and max deviation must be positive");
+  max_value_ = static_cast<int>(std::floor(max_deviation));
+
+  // Exact pmf of the rounded clipped Gaussian over [-max, max].
+  std::vector<double> pmf;
+  for (int k = -max_value_; k <= max_value_; ++k) {
+    support_.push_back(k);
+    pmf.push_back(num::rounded_clipped_normal_pmf(k, sigma, max_deviation));
+  }
+  // 64-bit fixed-point cumulative thresholds; force the last to 2^64-1 so
+  // every random word maps to a value.
+  cdt_.resize(pmf.size());
+  long double acc = 0.0L;
+  for (std::size_t i = 0; i < pmf.size(); ++i) {
+    acc += static_cast<long double>(pmf[i]);
+    long double scaled = acc * 18446744073709551615.0L;  // * (2^64 - 1)
+    if (scaled > 18446744073709551615.0L) scaled = 18446744073709551615.0L;
+    cdt_[i] = static_cast<std::uint64_t>(scaled);
+  }
+  cdt_.back() = ~std::uint64_t{0};
+}
+
+int CdtSampler::sample(num::Xoshiro256StarStar& rng) const noexcept {
+  const std::uint64_t r = rng();
+  // Binary search for the first threshold >= r (access pattern depends on r,
+  // hence on the sampled secret value — the CDT leak).
+  std::size_t lo = 0;
+  std::size_t hi = cdt_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdt_[mid] >= r) hi = mid;
+    else lo = mid + 1;
+  }
+  return support_[lo];
+}
+
+int CdtSampler::sample_constant_time(num::Xoshiro256StarStar& rng) const noexcept {
+  const std::uint64_t r = rng();
+  // Branchless: index = number of thresholds strictly below r; every table
+  // entry is touched exactly once regardless of r.
+  std::size_t index = 0;
+  for (const std::uint64_t threshold : cdt_) {
+    index += static_cast<std::size_t>(threshold < r);
+  }
+  if (index >= support_.size()) index = support_.size() - 1;  // r == max threshold
+  return support_[index];
+}
+
+}  // namespace reveal::seal

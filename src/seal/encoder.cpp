@@ -1,0 +1,68 @@
+#include "seal/encoder.hpp"
+
+#include <stdexcept>
+
+#include "seal/modarith.hpp"
+
+namespace reveal::seal {
+
+IntegerEncoder::IntegerEncoder(const Context& context) : context_(context) {}
+
+Plaintext IntegerEncoder::encode(std::uint64_t value) const {
+  std::vector<std::uint64_t> coeffs;
+  while (value != 0) {
+    coeffs.push_back(value & 1);
+    value >>= 1;
+  }
+  if (coeffs.size() > context_.n())
+    throw std::invalid_argument("IntegerEncoder::encode: value needs too many coefficients");
+  return Plaintext(std::move(coeffs));
+}
+
+std::int64_t IntegerEncoder::decode(const Plaintext& plain) const {
+  const Modulus& t = context_.plain_modulus();
+  // Evaluate at x = 2 with centered coefficients (mod-t wrap tolerated as in
+  // SEAL: coefficients above t/2 count as negative).
+  std::int64_t result = 0;
+  for (std::size_t i = plain.coeff_count(); i-- > 0;) {
+    const std::int64_t c = center_mod(t.reduce(plain[i]), t);
+    // result = result*2 + c with overflow checks.
+    if (result > (INT64_MAX >> 1) || result < (INT64_MIN >> 1))
+      throw std::overflow_error("IntegerEncoder::decode: value exceeds int64");
+    result = result * 2 + c;
+  }
+  return result;
+}
+
+BatchEncoder::BatchEncoder(const Context& context)
+    : context_(context),
+      slots_(context.n()),
+      tables_([&context]() -> NttTables {
+        const Modulus& t = context.plain_modulus();
+        if (!t.is_prime() || (t.value() - 1) % (2 * context.n()) != 0)
+          throw std::invalid_argument(
+              "BatchEncoder: plain_modulus must be prime with t ≡ 1 (mod 2n)");
+        return NttTables(context.n(), t);
+      }()) {}
+
+Plaintext BatchEncoder::encode(const std::vector<std::uint64_t>& values) const {
+  if (values.size() > slots_)
+    throw std::invalid_argument("BatchEncoder::encode: too many values");
+  const std::uint64_t t = context_.plain_modulus().value();
+  std::vector<std::uint64_t> slots(slots_, 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= t) throw std::invalid_argument("BatchEncoder::encode: value >= t");
+    slots[i] = values[i];
+  }
+  tables_.inverse_transform(slots);
+  return Plaintext(std::move(slots));
+}
+
+std::vector<std::uint64_t> BatchEncoder::decode(const Plaintext& plain) const {
+  std::vector<std::uint64_t> coeffs(slots_, 0);
+  for (std::size_t i = 0; i < slots_ && i < plain.coeff_count(); ++i) coeffs[i] = plain[i];
+  tables_.forward_transform(coeffs);
+  return coeffs;
+}
+
+}  // namespace reveal::seal

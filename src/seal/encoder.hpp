@@ -1,0 +1,55 @@
+#pragma once
+// Plaintext encoders.
+//
+// IntegerEncoder: binary expansion of an integer into polynomial
+// coefficients (SEAL's classic IntegerEncoder); homomorphic add/multiply of
+// ciphertexts then act on the encoded integers as long as coefficients do
+// not wrap mod t.
+//
+// BatchEncoder: SIMD packing of n values mod a prime t ≡ 1 (mod 2n); slots
+// map through the negacyclic NTT over Z_t, so homomorphic add/multiply act
+// slot-wise.
+
+#include <cstdint>
+#include <vector>
+
+#include "seal/ciphertext.hpp"
+#include "seal/encryption_params.hpp"
+#include "seal/ntt.hpp"
+
+namespace reveal::seal {
+
+class IntegerEncoder {
+ public:
+  explicit IntegerEncoder(const Context& context);
+
+  /// Encodes a non-negative integer as its binary expansion.
+  [[nodiscard]] Plaintext encode(std::uint64_t value) const;
+  /// Decodes by evaluating the polynomial at x = 2 over centered
+  /// coefficients; throws std::overflow_error if the value exceeds int64.
+  [[nodiscard]] std::int64_t decode(const Plaintext& plain) const;
+
+ private:
+  const Context& context_;
+};
+
+class BatchEncoder {
+ public:
+  /// Throws std::invalid_argument unless t is prime and t ≡ 1 (mod 2n).
+  explicit BatchEncoder(const Context& context);
+
+  [[nodiscard]] std::size_t slot_count() const noexcept { return slots_; }
+
+  /// Packs up to n values (< t) into a plaintext; short inputs are
+  /// zero-padded.
+  [[nodiscard]] Plaintext encode(const std::vector<std::uint64_t>& values) const;
+  /// Unpacks all n slots.
+  [[nodiscard]] std::vector<std::uint64_t> decode(const Plaintext& plain) const;
+
+ private:
+  const Context& context_;
+  std::size_t slots_;
+  NttTables tables_;  // NTT over Z_t
+};
+
+}  // namespace reveal::seal

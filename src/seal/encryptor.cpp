@@ -1,0 +1,99 @@
+#include "seal/encryptor.hpp"
+
+#include <stdexcept>
+
+#include "seal/modarith.hpp"
+#include "seal/sampler.hpp"
+
+namespace reveal::seal {
+
+Encryptor::Encryptor(const Context& context, const PublicKey& pk, SamplerVariant sampler)
+    : context_(context), pk_(pk), sampler_(sampler) {
+  if (pk_.p0.coeff_count() != context_.n() || pk_.p1.coeff_count() != context_.n())
+    throw std::invalid_argument("Encryptor: public key does not match context");
+}
+
+Poly Encryptor::scale_plain(const Plaintext& plain) const {
+  const std::size_t n = context_.n();
+  const std::size_t k = context_.coeff_mod_count();
+  const auto& moduli = context_.coeff_modulus();
+  const auto& delta = context_.delta_mod_qj();
+  const std::uint64_t t = context_.plain_modulus().value();
+  if (plain.coeff_count() > n)
+    throw std::invalid_argument("Encryptor: plaintext has too many coefficients");
+  Poly result(n, k);
+  for (std::size_t i = 0; i < plain.coeff_count(); ++i) {
+    const std::uint64_t m = plain[i];
+    if (m >= t) throw std::invalid_argument("Encryptor: plaintext coefficient >= t");
+    for (std::size_t j = 0; j < k; ++j) {
+      result.at(i, j) = mul_mod(moduli[j].reduce(m), delta[j], moduli[j]);
+    }
+  }
+  return result;
+}
+
+Ciphertext Encryptor::encrypt(const Plaintext& plain, UniformRandomGenerator& random,
+                              EncryptionWitness* witness) const {
+  EncryptionWitness local;
+  local.u = Poly(context_.n(), context_.coeff_mod_count());
+  sample_poly_ternary(local.u, random, context_);
+
+  Poly e1_poly(context_.n(), context_.coeff_mod_count());
+  Poly e2_poly(context_.n(), context_.coeff_mod_count());
+  if (sampler_ == SamplerVariant::kVulnerableV32) {
+    set_poly_coeffs_normal(e1_poly.data(), random, context_, &local.e1);
+    set_poly_coeffs_normal(e2_poly.data(), random, context_, &local.e2);
+  } else {
+    sample_poly_normal_v36(e1_poly.data(), random, context_, &local.e1);
+    sample_poly_normal_v36(e2_poly.data(), random, context_, &local.e2);
+  }
+
+  const auto& tables = context_.fast_ntt_tables();
+  const auto& moduli = context_.coeff_modulus();
+
+  // c0 = Δ·m + p0·u + e1 ; c1 = p1·u + e2.
+  Ciphertext ct;
+  ct.resize(2, context_.n(), context_.coeff_mod_count());
+  Poly p0u;
+  polyops::multiply_ntt(pk_.p0, local.u, tables, p0u);
+  Poly delta_m = scale_plain(plain);
+  polyops::add(delta_m, p0u, moduli, ct[0]);
+  polyops::add(ct[0], e1_poly, moduli, ct[0]);
+
+  Poly p1u;
+  polyops::multiply_ntt(pk_.p1, local.u, tables, p1u);
+  polyops::add(p1u, e2_poly, moduli, ct[1]);
+
+  if (witness != nullptr) *witness = std::move(local);
+  return ct;
+}
+
+Ciphertext Encryptor::encrypt_with_witness(const Plaintext& plain,
+                                           const EncryptionWitness& witness) const {
+  if (witness.u.coeff_count() != context_.n() ||
+      witness.e1.size() != context_.n() || witness.e2.size() != context_.n())
+    throw std::invalid_argument("encrypt_with_witness: witness does not match context");
+
+  Poly e1_poly;
+  Poly e2_poly;
+  encode_noise_values(witness.e1, context_, e1_poly);
+  encode_noise_values(witness.e2, context_, e2_poly);
+
+  const auto& tables = context_.fast_ntt_tables();
+  const auto& moduli = context_.coeff_modulus();
+
+  Ciphertext ct;
+  ct.resize(2, context_.n(), context_.coeff_mod_count());
+  Poly p0u;
+  polyops::multiply_ntt(pk_.p0, witness.u, tables, p0u);
+  Poly delta_m = scale_plain(plain);
+  polyops::add(delta_m, p0u, moduli, ct[0]);
+  polyops::add(ct[0], e1_poly, moduli, ct[0]);
+
+  Poly p1u;
+  polyops::multiply_ntt(pk_.p1, witness.u, tables, p1u);
+  polyops::add(p1u, e2_poly, moduli, ct[1]);
+  return ct;
+}
+
+}  // namespace reveal::seal

@@ -1,0 +1,268 @@
+#include "seal/evaluator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "seal/crt.hpp"
+#include "seal/modarith.hpp"
+#include "seal/poly.hpp"
+
+namespace reveal::seal {
+
+namespace {
+__extension__ typedef __int128 i128;
+}
+
+void Evaluator::add_inplace(Ciphertext& a, const Ciphertext& b) const {
+  if (a.size() != b.size())
+    throw std::invalid_argument("Evaluator::add: ciphertext size mismatch");
+  const auto& moduli = context_.coeff_modulus();
+  for (std::size_t c = 0; c < a.size(); ++c) polyops::add(a[c], b[c], moduli, a[c]);
+}
+
+void Evaluator::sub_inplace(Ciphertext& a, const Ciphertext& b) const {
+  if (a.size() != b.size())
+    throw std::invalid_argument("Evaluator::sub: ciphertext size mismatch");
+  const auto& moduli = context_.coeff_modulus();
+  for (std::size_t c = 0; c < a.size(); ++c) polyops::sub(a[c], b[c], moduli, a[c]);
+}
+
+void Evaluator::negate_inplace(Ciphertext& a) const {
+  const auto& moduli = context_.coeff_modulus();
+  for (std::size_t c = 0; c < a.size(); ++c) polyops::negate(a[c], moduli, a[c]);
+}
+
+void Evaluator::add_plain_inplace(Ciphertext& a, const Plaintext& plain) const {
+  const auto& moduli = context_.coeff_modulus();
+  const auto& delta = context_.delta_mod_qj();
+  const std::uint64_t t = context_.plain_modulus().value();
+  if (plain.coeff_count() > context_.n())
+    throw std::invalid_argument("Evaluator::add_plain: plaintext too long");
+  for (std::size_t i = 0; i < plain.coeff_count(); ++i) {
+    if (plain[i] >= t) throw std::invalid_argument("Evaluator::add_plain: coefficient >= t");
+    for (std::size_t j = 0; j < moduli.size(); ++j) {
+      const std::uint64_t scaled = mul_mod(moduli[j].reduce(plain[i]), delta[j], moduli[j]);
+      a[0].at(i, j) = add_mod(a[0].at(i, j), scaled, moduli[j]);
+    }
+  }
+}
+
+void Evaluator::multiply_plain_inplace(Ciphertext& a, const Plaintext& plain) const {
+  const auto& moduli = context_.coeff_modulus();
+  const auto& tables = context_.fast_ntt_tables();
+  if (plain.coeff_count() > context_.n())
+    throw std::invalid_argument("Evaluator::multiply_plain: plaintext too long");
+  // Lift the plaintext into each RNS component, then negacyclic-multiply.
+  Poly lifted(context_.n(), moduli.size());
+  for (std::size_t i = 0; i < plain.coeff_count(); ++i) {
+    for (std::size_t j = 0; j < moduli.size(); ++j) {
+      lifted.at(i, j) = moduli[j].reduce(plain[i]);
+    }
+  }
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    polyops::multiply_ntt(a[c], lifted, tables, a[c]);
+  }
+}
+
+Ciphertext Evaluator::multiply(const Ciphertext& a, const Ciphertext& b) const {
+  if (a.size() != 2 || b.size() != 2)
+    throw std::invalid_argument("Evaluator::multiply: operands must have 2 components");
+  const std::size_t n = context_.n();
+  const auto& moduli = context_.coeff_modulus();
+  const std::uint64_t t = context_.plain_modulus().value();
+  const CrtComposer crt(moduli);
+  const double log2_q = std::log2(crt.total_modulus().to_double());
+  // Coefficients of the integer tensor product reach n*(q/2)^2, and the
+  // scaling multiplies by t; everything must fit in a signed 128-bit
+  // integer: 2*log2(q) + log2(n) + log2(t) < 126.
+  {
+    const double budget_bits = 2.0 * log2_q + std::log2(static_cast<double>(n)) +
+                               std::log2(static_cast<double>(t));
+    if (budget_bits >= 126.0)
+      throw std::logic_error("Evaluator::multiply: parameters too large for i128 tensor");
+  }
+  // q as a 128-bit integer (< 2^62 by the budget check above when n*t > 4).
+  const auto big_to_i128 = [](const BigUInt& v) {
+    i128 out = 0;
+    const auto& limbs = v.limbs();
+    if (limbs.size() >= 2) out = static_cast<i128>(limbs[1]) << 64;
+    if (!limbs.empty()) out |= static_cast<i128>(limbs[0]);
+    return out;
+  };
+  const i128 q_total = big_to_i128(crt.total_modulus());
+
+  // Centered integer representatives of each component (CRT-composed for
+  // multi-modulus operands).
+  auto centered = [&](const Poly& p) {
+    std::vector<i128> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (moduli.size() == 1) {
+        out[i] = center_mod(p.at(i, 0), moduli[0]);
+      } else {
+        const BigUInt x = crt.compose(p, i);
+        const BigUInt mag = crt.centered_magnitude(x);  // |x centered| = q-x above q/2
+        const bool negative = x > mag;                  // x was above q/2
+        out[i] = negative ? -big_to_i128(mag) : big_to_i128(mag);
+      }
+    }
+    return out;
+  };
+  const std::vector<i128> a0 = centered(a[0]);
+  const std::vector<i128> a1 = centered(a[1]);
+  const std::vector<i128> b0 = centered(b[0]);
+  const std::vector<i128> b1 = centered(b[1]);
+
+  // Negacyclic schoolbook convolution over the integers.
+  auto convolve = [n](const std::vector<i128>& x, const std::vector<i128>& y) {
+    std::vector<i128> out(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (x[i] == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t k = i + j;
+        const i128 prod = x[i] * y[j];
+        if (k < n) out[k] += prod;
+        else out[k - n] -= prod;  // x^n = -1
+      }
+    }
+    return out;
+  };
+
+  std::vector<i128> d0 = convolve(a0, b0);
+  std::vector<i128> d2 = convolve(a1, b1);
+  // d1 = a0*b1 + a1*b0 computed via (a0+a1)*(b0+b1) - d0 - d2 (Karatsuba-ish).
+  std::vector<i128> a01(n), b01(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a01[i] = a0[i] + a1[i];
+    b01[i] = b0[i] + b1[i];
+  }
+  std::vector<i128> d1 = convolve(a01, b01);
+  for (std::size_t i = 0; i < n; ++i) d1[i] -= d0[i] + d2[i];
+
+  // Scale by t/q with rounding, then reduce into every RNS component.
+  auto scale_round = [&](std::vector<i128>& d, Poly& out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const i128 num = d[i] * static_cast<i128>(t);
+      // round(num/q) for signed num with positive q.
+      i128 rounded;
+      if (num >= 0) rounded = (num + q_total / 2) / q_total;
+      else rounded = -((-num + q_total / 2) / q_total);
+      for (std::size_t j = 0; j < moduli.size(); ++j) {
+        const auto qj = static_cast<i128>(moduli[j].value());
+        i128 reduced = rounded % qj;
+        if (reduced < 0) reduced += qj;
+        out.at(i, j) = static_cast<std::uint64_t>(reduced);
+      }
+    }
+  };
+
+  Ciphertext result;
+  result.resize(3, n, moduli.size());
+  scale_round(d0, result[0]);
+  scale_round(d1, result[1]);
+  scale_round(d2, result[2]);
+  return result;
+}
+
+void Evaluator::relinearize_inplace(Ciphertext& a, const RelinKeys& rk) const {
+  if (a.size() != 3)
+    throw std::invalid_argument("Evaluator::relinearize: ciphertext must have 3 components");
+  if (context_.coeff_mod_count() != 1)
+    throw std::logic_error("Evaluator::relinearize: single-modulus contexts only");
+  const Modulus& q = context_.coeff_modulus()[0];
+  const auto& moduli = context_.coeff_modulus();
+  const auto& tables = context_.fast_ntt_tables();
+  const int w_bits = rk.decomposition_bit_count;
+  const std::uint64_t w_mask = (std::uint64_t{1} << w_bits) - 1;
+  const std::size_t n = context_.n();
+
+  Poly acc0 = a[0];
+  Poly acc1 = a[1];
+  // Decompose c2 into base-2^w digits and accumulate digit * rk[l].
+  std::vector<std::uint64_t> remaining(n);
+  for (std::size_t i = 0; i < n; ++i) remaining[i] = a[2].at(i, 0);
+  for (std::size_t l = 0; l < rk.keys.size(); ++l) {
+    Poly digit(n, 1);
+    bool any_nonzero = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t d = remaining[i] & w_mask;
+      remaining[i] >>= w_bits;
+      digit.at(i, 0) = d;
+      any_nonzero |= (d != 0);
+    }
+    if (!any_nonzero) continue;
+    Poly term;
+    polyops::multiply_ntt(digit, rk.keys[l].first, tables, term);
+    polyops::add(acc0, term, moduli, acc0);
+    polyops::multiply_ntt(digit, rk.keys[l].second, tables, term);
+    polyops::add(acc1, term, moduli, acc1);
+  }
+  (void)q;
+
+  Ciphertext out;
+  out.push_back(std::move(acc0));
+  out.push_back(std::move(acc1));
+  a = std::move(out);
+}
+
+
+void Evaluator::apply_galois_inplace(Ciphertext& a, std::uint32_t galois_element,
+                                     const GaloisKeys& gk) const {
+  if (a.size() != 2)
+    throw std::invalid_argument("Evaluator::apply_galois: need a 2-component ciphertext");
+  if (context_.coeff_mod_count() != 1)
+    throw std::logic_error("Evaluator::apply_galois: single-modulus contexts only");
+  const auto it = gk.keys.find(galois_element);
+  if (it == gk.keys.end())
+    throw std::invalid_argument("Evaluator::apply_galois: no key for this element");
+  const auto& moduli = context_.coeff_modulus();
+  const auto& tables = context_.fast_ntt_tables();
+  const std::size_t n = context_.n();
+
+  // (c0(x^g), c1(x^g)) decrypts under s(x^g); key-switch c1 back to s.
+  Poly c0_g, c1_g;
+  polyops::apply_galois(a[0], galois_element, moduli, c0_g);
+  polyops::apply_galois(a[1], galois_element, moduli, c1_g);
+
+  const int w_bits = gk.decomposition_bit_count;
+  const std::uint64_t w_mask = (std::uint64_t{1} << w_bits) - 1;
+  Poly acc0 = std::move(c0_g);
+  Poly acc1(n, 1);
+  std::vector<std::uint64_t> remaining(n);
+  for (std::size_t i = 0; i < n; ++i) remaining[i] = c1_g.at(i, 0);
+  for (std::size_t l = 0; l < it->second.size(); ++l) {
+    Poly digit(n, 1);
+    bool any_nonzero = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t d = remaining[i] & w_mask;
+      remaining[i] >>= w_bits;
+      digit.at(i, 0) = d;
+      any_nonzero |= (d != 0);
+    }
+    if (!any_nonzero) continue;
+    Poly term;
+    polyops::multiply_ntt(digit, it->second[l].first, tables, term);
+    polyops::add(acc0, term, moduli, acc0);
+    polyops::multiply_ntt(digit, it->second[l].second, tables, term);
+    polyops::add(acc1, term, moduli, acc1);
+  }
+
+  Ciphertext out;
+  out.push_back(std::move(acc0));
+  out.push_back(std::move(acc1));
+  a = std::move(out);
+}
+
+std::uint32_t Evaluator::galois_element_for_step(int step) const {
+  const std::size_t two_n = 2 * context_.n();
+  // 3 generates the order-n/2 subgroup of (Z/2nZ)* used for row rotations.
+  std::uint64_t element = 1;
+  const std::size_t positive_step =
+      step >= 0 ? static_cast<std::size_t>(step)
+                : context_.n() / 2 - (static_cast<std::size_t>(-step) % (context_.n() / 2));
+  for (std::size_t k = 0; k < positive_step % (context_.n() / 2); ++k) {
+    element = (element * 3) % two_n;
+  }
+  return static_cast<std::uint32_t>(element);
+}
+
+}  // namespace reveal::seal

@@ -1,0 +1,48 @@
+#pragma once
+// Homomorphic evaluation for the BFV scheme: addition/subtraction/negation
+// for any parameter set; ciphertext multiplication and relinearization for
+// single-modulus contexts (sufficient for the paper's parameter set and the
+// cloud-side "Evaluate" of Fig. 1).
+
+#include "seal/ciphertext.hpp"
+#include "seal/encryption_params.hpp"
+#include "seal/keys.hpp"
+
+namespace reveal::seal {
+
+class Evaluator {
+ public:
+  explicit Evaluator(const Context& context) : context_(context) {}
+
+  void add_inplace(Ciphertext& a, const Ciphertext& b) const;
+  void sub_inplace(Ciphertext& a, const Ciphertext& b) const;
+  void negate_inplace(Ciphertext& a) const;
+
+  /// a += Δ·plain (adds a plaintext to the message slot).
+  void add_plain_inplace(Ciphertext& a, const Plaintext& plain) const;
+
+  /// a *= plain (polynomial product with the plaintext lifted mod q_j).
+  void multiply_plain_inplace(Ciphertext& a, const Plaintext& plain) const;
+
+  /// Full BFV multiplication: result has 3 components (tensor + t/q scaling).
+  /// Single-modulus contexts only; throws std::logic_error otherwise.
+  [[nodiscard]] Ciphertext multiply(const Ciphertext& a, const Ciphertext& b) const;
+
+  /// Reduces a 3-component ciphertext back to 2 components.
+  void relinearize_inplace(Ciphertext& a, const RelinKeys& rk) const;
+
+  /// Applies the Galois automorphism x -> x^g homomorphically: the result
+  /// encrypts m(x^g). Requires a fresh 2-component ciphertext, a matching
+  /// key in `gk`, and a single-modulus context.
+  void apply_galois_inplace(Ciphertext& a, std::uint32_t galois_element,
+                            const GaloisKeys& gk) const;
+
+  /// The Galois element realizing a batched-slot rotation by `step`
+  /// (3^step mod 2n; step may be negative).
+  [[nodiscard]] std::uint32_t galois_element_for_step(int step) const;
+
+ private:
+  const Context& context_;
+};
+
+}  // namespace reveal::seal

@@ -1,0 +1,69 @@
+#pragma once
+// Key material and key generation for the BFV scheme.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "seal/encryption_params.hpp"
+#include "seal/poly.hpp"
+#include "seal/random.hpp"
+
+namespace reveal::seal {
+
+/// Secret key: ternary polynomial s (coefficient representation).
+struct SecretKey {
+  Poly s;
+};
+
+/// Public key: pk = (p0, p1) = ([-(a s + e)]_q, a).
+struct PublicKey {
+  Poly p0;
+  Poly p1;
+};
+
+/// Relinearization keys: base-2^w decomposition of encryptions of s^2.
+/// rk[l] = (-(a_l s + e_l) + w^l s^2, a_l).
+struct RelinKeys {
+  std::vector<std::pair<Poly, Poly>> keys;
+  int decomposition_bit_count = 0;
+};
+
+/// Key-switching keys for Galois automorphisms x -> x^g: per element g, a
+/// base-2^w key-switch key encrypting s(x^g) under s.
+struct GaloisKeys {
+  /// keys[g][l] = (-(a_l s + e_l) + w^l s(x^g), a_l).
+  std::map<std::uint32_t, std::vector<std::pair<Poly, Poly>>> keys;
+  int decomposition_bit_count = 0;
+
+  [[nodiscard]] bool has(std::uint32_t galois_element) const {
+    return keys.find(galois_element) != keys.end();
+  }
+};
+
+/// Generates sk / pk / relin keys per the BFV KeyGen of §II-A.
+class KeyGenerator {
+ public:
+  /// Draws the secret key immediately; `random` must outlive the generator.
+  KeyGenerator(const Context& context, UniformRandomGenerator& random);
+
+  [[nodiscard]] const SecretKey& secret_key() const noexcept { return secret_key_; }
+  [[nodiscard]] const PublicKey& public_key() const noexcept { return public_key_; }
+
+  /// Generates relinearization keys with the given decomposition bit count
+  /// (single-modulus contexts only; throws otherwise).
+  [[nodiscard]] RelinKeys create_relin_keys(int decomposition_bit_count = 16);
+
+  /// Generates Galois keys for the given elements (each odd, < 2n).
+  /// Single-modulus contexts only.
+  [[nodiscard]] GaloisKeys create_galois_keys(const std::vector<std::uint32_t>& elements,
+                                              int decomposition_bit_count = 8);
+
+ private:
+  const Context& context_;
+  UniformRandomGenerator& random_;
+  SecretKey secret_key_;
+  PublicKey public_key_;
+};
+
+}  // namespace reveal::seal

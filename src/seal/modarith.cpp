@@ -1,0 +1,56 @@
+#include "seal/modarith.hpp"
+
+#include <stdexcept>
+
+namespace reveal::seal {
+
+std::uint64_t pow_mod(std::uint64_t a, std::uint64_t exp, const Modulus& q) noexcept {
+  std::uint64_t result = q.value() == 1 ? 0 : 1;
+  a = q.reduce(a);
+  while (exp != 0) {
+    if (exp & 1) result = mul_mod(result, a, q);
+    a = mul_mod(a, a, q);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t inverse_mod(std::uint64_t a, const Modulus& q) {
+  a = q.reduce(a);
+  if (a == 0) throw std::invalid_argument("inverse_mod: zero has no inverse");
+  if (!q.is_prime()) throw std::invalid_argument("inverse_mod: modulus must be prime");
+  return pow_mod(a, q.value() - 2, q);  // Fermat's little theorem
+}
+
+bool try_primitive_root(std::size_t two_n, const Modulus& q, std::uint64_t& root) {
+  if (two_n == 0 || (q.value() - 1) % two_n != 0) return false;
+  const std::uint64_t cofactor = (q.value() - 1) / two_n;
+  // Try deterministic candidates; g^cofactor is a 2n-th root of unity, and
+  // it is primitive iff its (2n/2)-th power is -1.
+  for (std::uint64_t candidate = 2; candidate < q.value() && candidate < 2000; ++candidate) {
+    const std::uint64_t r = pow_mod(candidate, cofactor, q);
+    if (pow_mod(r, two_n / 2, q) == q.value() - 1) {
+      root = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t minimal_primitive_root(std::size_t two_n, const Modulus& q) {
+  std::uint64_t root = 0;
+  if (!try_primitive_root(two_n, q, root))
+    throw std::runtime_error("minimal_primitive_root: no primitive root found");
+  // All primitive 2n-th roots are root^k for odd k; walk them to find the
+  // smallest (SEAL does the same to make precomputations canonical).
+  const std::uint64_t generator_sq = mul_mod(root, root, q);
+  std::uint64_t current = root;
+  std::uint64_t best = root;
+  for (std::size_t i = 1; i < two_n / 2; ++i) {
+    current = mul_mod(current, generator_sq, q);
+    if (current < best) best = current;
+  }
+  return best;
+}
+
+}  // namespace reveal::seal

@@ -1,0 +1,61 @@
+#pragma once
+// Scalar modular arithmetic on top of `Modulus`.
+
+#include <cstdint>
+
+#include "seal/modulus.hpp"
+
+namespace reveal::seal {
+
+/// (a + b) mod q; inputs must already be < q.
+[[nodiscard]] inline std::uint64_t add_mod(std::uint64_t a, std::uint64_t b,
+                                           const Modulus& q) noexcept {
+  std::uint64_t s = a + b;
+  if (s >= q.value()) s -= q.value();
+  return s;
+}
+
+/// (a - b) mod q; inputs must already be < q.
+[[nodiscard]] inline std::uint64_t sub_mod(std::uint64_t a, std::uint64_t b,
+                                           const Modulus& q) noexcept {
+  return a >= b ? a - b : a + q.value() - b;
+}
+
+/// (-a) mod q; input must already be < q.
+[[nodiscard]] inline std::uint64_t negate_mod(std::uint64_t a, const Modulus& q) noexcept {
+  return a == 0 ? 0 : q.value() - a;
+}
+
+/// (a * b) mod q via Barrett reduction of the 128-bit product.
+[[nodiscard]] inline std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b,
+                                           const Modulus& q) noexcept {
+  __extension__ typedef unsigned __int128 u128;
+  const u128 prod = static_cast<u128>(a) * b;
+  return q.reduce128(static_cast<std::uint64_t>(prod >> 64),
+                     static_cast<std::uint64_t>(prod));
+}
+
+/// a^exp mod q (square-and-multiply).
+[[nodiscard]] std::uint64_t pow_mod(std::uint64_t a, std::uint64_t exp,
+                                    const Modulus& q) noexcept;
+
+/// Multiplicative inverse of a mod prime q; throws std::invalid_argument if
+/// a ≡ 0 or q is not prime.
+[[nodiscard]] std::uint64_t inverse_mod(std::uint64_t a, const Modulus& q);
+
+/// Returns true and writes a primitive 2n-th root of unity mod q into `root`
+/// (q prime, q ≡ 1 mod 2n); returns false if none exists.
+bool try_primitive_root(std::size_t two_n, const Modulus& q, std::uint64_t& root);
+
+/// The *minimal* primitive 2n-th root of unity mod q (SEAL convention);
+/// throws std::runtime_error if none exists.
+[[nodiscard]] std::uint64_t minimal_primitive_root(std::size_t two_n, const Modulus& q);
+
+/// Centers x in [0,q) into the signed representative in (-q/2, q/2].
+[[nodiscard]] inline std::int64_t center_mod(std::uint64_t x, const Modulus& q) noexcept {
+  const std::uint64_t half = q.value() >> 1;
+  if (x > half) return static_cast<std::int64_t>(x) - static_cast<std::int64_t>(q.value());
+  return static_cast<std::int64_t>(x);
+}
+
+}  // namespace reveal::seal

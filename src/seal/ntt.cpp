@@ -1,0 +1,110 @@
+#include "seal/ntt.hpp"
+
+#include <stdexcept>
+
+#include "seal/modarith.hpp"
+
+namespace reveal::seal {
+
+std::size_t reverse_bits(std::size_t value, int bits) noexcept {
+  std::size_t out = 0;
+  for (int i = 0; i < bits; ++i) {
+    out = (out << 1) | (value & 1);
+    value >>= 1;
+  }
+  return out;
+}
+
+namespace {
+
+bool is_power_of_two(std::size_t v) noexcept { return v != 0 && (v & (v - 1)) == 0; }
+
+int log2_exact(std::size_t v) noexcept {
+  int log = 0;
+  while ((std::size_t{1} << log) < v) ++log;
+  return log;
+}
+
+}  // namespace
+
+NttTables::NttTables(std::size_t n, const Modulus& q) : n_(n), q_(q) {
+  if (!is_power_of_two(n) || n < 2)
+    throw std::invalid_argument("NttTables: n must be a power of two >= 2");
+  if (!q.is_prime() || (q.value() - 1) % (2 * n) != 0)
+    throw std::invalid_argument("NttTables: q must be prime with q ≡ 1 (mod 2n)");
+  log_n_ = log2_exact(n);
+  psi_ = minimal_primitive_root(2 * n, q);
+  inv_n_ = inverse_mod(n, q);
+  const std::uint64_t psi_inv = inverse_mod(psi_, q);
+
+  // Powers of psi in bit-reversed order: root_powers_[i] = psi^bitrev(i, log n).
+  root_powers_.assign(n, 0);
+  inv_root_powers_.assign(n, 0);
+  std::uint64_t power = 1;
+  std::uint64_t inv_power = 1;
+  std::vector<std::uint64_t> fwd(n), inv(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fwd[i] = power;
+    inv[i] = inv_power;
+    power = mul_mod(power, psi_, q);
+    inv_power = mul_mod(inv_power, psi_inv, q);
+  }
+  // The inverse stage mirrors the forward stage with the same (m + i) index,
+  // so both tables are stored in bit-reversed exponent order.
+  for (std::size_t i = 0; i < n; ++i) {
+    root_powers_[i] = fwd[reverse_bits(i, log_n_)];
+    inv_root_powers_[i] = inv[reverse_bits(i, log_n_)];
+  }
+}
+
+void NttTables::forward_transform(std::uint64_t* values) const noexcept {
+  // Cooley-Tukey butterflies, decimation in time, root powers consumed in
+  // bit-reversed order (Longa-Naehrig style negacyclic forward NTT).
+  std::size_t t = n_ >> 1;
+  std::size_t m = 1;
+  std::size_t root_index = 1;
+  for (; m < n_; m <<= 1, t >>= 1) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint64_t w = root_powers_[root_index++];
+      const std::size_t j1 = 2 * i * t;
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const std::uint64_t u = values[j];
+        const std::uint64_t v = mul_mod(values[j + t], w, q_);
+        values[j] = add_mod(u, v, q_);
+        values[j + t] = sub_mod(u, v, q_);
+      }
+    }
+  }
+}
+
+void NttTables::inverse_transform(std::uint64_t* values) const noexcept {
+  // Gentleman-Sande butterflies, decimation in frequency.
+  std::size_t t = 1;
+  std::size_t m = n_ >> 1;
+  for (; m >= 1; m >>= 1, t <<= 1) {
+    std::size_t j1 = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint64_t w = inv_root_powers_[m + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const std::uint64_t u = values[j];
+        const std::uint64_t v = values[j + t];
+        values[j] = add_mod(u, v, q_);
+        values[j + t] = mul_mod(sub_mod(u, v, q_), w, q_);
+      }
+      j1 += 2 * t;
+    }
+  }
+  for (std::size_t i = 0; i < n_; ++i) values[i] = mul_mod(values[i], inv_n_, q_);
+}
+
+void NttTables::forward_transform(std::vector<std::uint64_t>& values) const {
+  if (values.size() != n_) throw std::invalid_argument("forward_transform: size mismatch");
+  forward_transform(values.data());
+}
+
+void NttTables::inverse_transform(std::vector<std::uint64_t>& values) const {
+  if (values.size() != n_) throw std::invalid_argument("inverse_transform: size mismatch");
+  inverse_transform(values.data());
+}
+
+}  // namespace reveal::seal

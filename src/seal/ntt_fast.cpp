@@ -1,0 +1,147 @@
+#include "seal/ntt_fast.hpp"
+
+#include <stdexcept>
+
+#include "seal/modarith.hpp"
+#include "seal/ntt.hpp"
+
+namespace reveal::seal {
+
+namespace {
+
+__extension__ typedef unsigned __int128 u128;
+
+/// floor(operand * 2^64 / q) — the Shoup constant of `operand`.
+std::uint64_t shoup_constant(std::uint64_t operand, std::uint64_t q) {
+  return static_cast<std::uint64_t>((static_cast<u128>(operand) << 64) / q);
+}
+
+/// Shoup modular multiply: returns x*w mod q in [0, 2q).
+/// (w, w_shoup) precomputed; x < 4q.
+inline std::uint64_t mul_shoup_lazy(std::uint64_t x, std::uint64_t w,
+                                    std::uint64_t w_shoup, std::uint64_t q) noexcept {
+  const std::uint64_t hi =
+      static_cast<std::uint64_t>((static_cast<u128>(x) * w_shoup) >> 64);
+  return x * w - hi * q;  // in [0, 2q)
+}
+
+bool is_power_of_two(std::size_t v) noexcept { return v != 0 && (v & (v - 1)) == 0; }
+
+int log2_exact(std::size_t v) noexcept {
+  int log = 0;
+  while ((std::size_t{1} << log) < v) ++log;
+  return log;
+}
+
+}  // namespace
+
+FastNttTables::FastNttTables(std::size_t n, const Modulus& q) : n_(n), q_(q) {
+  if (!is_power_of_two(n) || n < 2)
+    throw std::invalid_argument("FastNttTables: n must be a power of two >= 2");
+  if (!q.is_prime() || (q.value() - 1) % (2 * n) != 0)
+    throw std::invalid_argument("FastNttTables: q must be prime with q ≡ 1 (mod 2n)");
+  if (q.bit_count() > 61)
+    throw std::invalid_argument("FastNttTables: q must be below 2^61 for lazy reduction");
+  log_n_ = log2_exact(n);
+  two_q_ = 2 * q.value();
+
+  const std::uint64_t psi = minimal_primitive_root(2 * n, q);
+  const std::uint64_t psi_inv = inverse_mod(psi, q);
+  inv_n_ = inverse_mod(n, q);
+  inv_n_shoup_ = shoup_constant(inv_n_, q.value());
+
+  std::vector<std::uint64_t> fwd(n), inv(n);
+  std::uint64_t power = 1, inv_power = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    fwd[i] = power;
+    inv[i] = inv_power;
+    power = mul_mod(power, psi, q);
+    inv_power = mul_mod(inv_power, psi_inv, q);
+  }
+  roots_.assign(n, 0);
+  roots_shoup_.assign(n, 0);
+  inv_roots_.assign(n, 0);
+  inv_roots_shoup_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t rev = reverse_bits(i, log_n_);
+    roots_[i] = fwd[rev];
+    roots_shoup_[i] = shoup_constant(fwd[rev], q.value());
+    inv_roots_[i] = inv[rev];
+    inv_roots_shoup_[i] = shoup_constant(inv[rev], q.value());
+  }
+}
+
+void FastNttTables::forward_transform(std::uint64_t* values) const noexcept {
+  // Cooley-Tukey with lazy values in [0, 4q): at each butterfly
+  //   u' = u + v*w  (u < 4q folded to < 2q first; v*w in [0, 2q))
+  //   v' = u - v*w + 2q
+  const std::uint64_t q = q_.value();
+  const std::uint64_t two_q = two_q_;
+  std::size_t t = n_ >> 1;
+  std::size_t m = 1;
+  std::size_t root_index = 1;
+  for (; m < n_; m <<= 1, t >>= 1) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint64_t w = roots_[root_index];
+      const std::uint64_t ws = roots_shoup_[root_index];
+      ++root_index;
+      const std::size_t j1 = 2 * i * t;
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        std::uint64_t u = values[j];
+        if (u >= two_q) u -= two_q;  // fold to [0, 2q)
+        const std::uint64_t v = mul_shoup_lazy(values[j + t], w, ws, q);  // [0, 2q)
+        values[j] = u + v;               // [0, 4q)
+        values[j + t] = u + two_q - v;   // [0, 4q)
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::uint64_t v = values[i];
+    if (v >= two_q) v -= two_q;
+    if (v >= q) v -= q;
+    values[i] = v;
+  }
+}
+
+void FastNttTables::inverse_transform(std::uint64_t* values) const noexcept {
+  // Gentleman-Sande, lazy in [0, 2q).
+  const std::uint64_t q = q_.value();
+  const std::uint64_t two_q = two_q_;
+  std::size_t t = 1;
+  std::size_t m = n_ >> 1;
+  for (; m >= 1; m >>= 1, t <<= 1) {
+    std::size_t j1 = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint64_t w = inv_roots_[m + i];
+      const std::uint64_t ws = inv_roots_shoup_[m + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const std::uint64_t u = values[j];       // [0, 2q)
+        const std::uint64_t v = values[j + t];   // [0, 2q)
+        std::uint64_t sum = u + v;               // [0, 4q)
+        if (sum >= two_q) sum -= two_q;
+        values[j] = sum;                         // [0, 2q)
+        values[j + t] = mul_shoup_lazy(u + two_q - v, w, ws, q);  // [0, 2q)
+      }
+      j1 += 2 * t;
+    }
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::uint64_t v = mul_shoup_lazy(values[i], inv_n_, inv_n_shoup_, q);
+    if (v >= q) v -= q;
+    values[i] = v;
+  }
+}
+
+void FastNttTables::forward_transform(std::vector<std::uint64_t>& values) const {
+  if (values.size() != n_)
+    throw std::invalid_argument("FastNttTables::forward_transform: size mismatch");
+  forward_transform(values.data());
+}
+
+void FastNttTables::inverse_transform(std::vector<std::uint64_t>& values) const {
+  if (values.size() != n_)
+    throw std::invalid_argument("FastNttTables::inverse_transform: size mismatch");
+  inverse_transform(values.data());
+}
+
+}  // namespace reveal::seal

@@ -1,0 +1,48 @@
+#pragma once
+// Harvey-style negacyclic NTT with Shoup-precomputed twiddle factors and
+// lazy reduction — the algorithm SEAL itself uses (ntt_negacyclic_harvey).
+//
+// Compared to ntt.hpp's reference transform (one Barrett reduction per
+// butterfly multiply), this variant precomputes w' = floor(w * 2^64 / q)
+// per twiddle so a modular multiply costs two 64x64 multiplies and one
+// conditional subtraction, and keeps values in [0, 4q) during the forward
+// pass ("lazy"), reducing only at the end. Requires q < 2^61 so 4q fits
+// comfortably below 2^63.
+
+#include <cstdint>
+#include <vector>
+
+#include "seal/modulus.hpp"
+
+namespace reveal::seal {
+
+class FastNttTables {
+ public:
+  /// Same preconditions as NttTables: n a power of two, q prime,
+  /// q ≡ 1 (mod 2n).
+  FastNttTables(std::size_t n, const Modulus& q);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] const Modulus& modulus() const noexcept { return q_; }
+
+  /// In-place transforms, bit-identical to NttTables' results.
+  void forward_transform(std::uint64_t* values) const noexcept;
+  void inverse_transform(std::uint64_t* values) const noexcept;
+
+  void forward_transform(std::vector<std::uint64_t>& values) const;
+  void inverse_transform(std::vector<std::uint64_t>& values) const;
+
+ private:
+  std::size_t n_ = 0;
+  int log_n_ = 0;
+  Modulus q_;
+  std::uint64_t two_q_ = 0;
+  std::vector<std::uint64_t> roots_;        // psi^bitrev(i)
+  std::vector<std::uint64_t> roots_shoup_;  // floor(roots * 2^64 / q)
+  std::vector<std::uint64_t> inv_roots_;
+  std::vector<std::uint64_t> inv_roots_shoup_;
+  std::uint64_t inv_n_ = 0;
+  std::uint64_t inv_n_shoup_ = 0;
+};
+
+}  // namespace reveal::seal

@@ -1,0 +1,49 @@
+#include "seal/random.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace reveal::seal {
+
+ClippedNormalDistribution::ClippedNormalDistribution(double mean, double standard_deviation,
+                                                     double max_deviation)
+    : mean_(mean), stddev_(standard_deviation), max_dev_(max_deviation) {
+  if (!(standard_deviation >= 0.0) || !(max_deviation >= 0.0))
+    throw std::invalid_argument(
+        "ClippedNormalDistribution: deviations must be non-negative");
+}
+
+double ClippedNormalDistribution::next_gaussian(RandomToStandardAdapter& engine) {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  // Box-Muller from two uniform doubles built out of 32-bit words.
+  auto uniform = [&engine]() {
+    const std::uint64_t hi = engine();
+    const std::uint64_t lo = engine();
+    const std::uint64_t bits = ((hi << 32) | lo) >> 11;  // 53 bits
+    return static_cast<double>(bits) * 0x1.0p-53;
+  };
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_ = radius * std::sin(angle);
+  has_cached_ = true;
+  return radius * std::cos(angle);
+}
+
+double ClippedNormalDistribution::operator()(RandomToStandardAdapter& engine) {
+  // SEAL's loop: resample until the draw falls inside the clip window.
+  for (;;) {
+    const double value = next_gaussian(engine) * stddev_ + mean_;
+    if (std::abs(value - mean_) <= max_dev_) return value;
+  }
+}
+
+}  // namespace reveal::seal

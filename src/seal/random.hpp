@@ -1,0 +1,86 @@
+#pragma once
+// Randomness plumbing mirroring SEAL's:
+//   UniformRandomGenerator  -> RandomToStandardAdapter -> ClippedNormalDistribution
+//
+// The vulnerable code path in SEAL v3.2 (paper Fig. 2) is
+//   RandomToStandardAdapter engine(random);
+//   ClippedNormalDistribution dist(0, sigma, max_dev);
+//   int64_t noise = dist(engine);
+// We reproduce the same layering so the ported sampler reads identically.
+
+#include <cstdint>
+#include <memory>
+
+#include "numeric/rng.hpp"
+
+namespace reveal::seal {
+
+/// Abstract 32-bit random source (SEAL's UniformRandomGenerator).
+class UniformRandomGenerator {
+ public:
+  virtual ~UniformRandomGenerator() = default;
+  virtual std::uint32_t generate() = 0;
+};
+
+/// Deterministic generator backed by xoshiro256** — stands in for SEAL's
+/// BlakePRNG; keyed by a 64-bit seed so experiments are reproducible.
+class StandardRandomGenerator final : public UniformRandomGenerator {
+ public:
+  explicit StandardRandomGenerator(std::uint64_t seed) : rng_(seed) {}
+  std::uint32_t generate() override { return static_cast<std::uint32_t>(rng_()); }
+
+  /// Access to the underlying engine for non-SEAL sampling paths.
+  [[nodiscard]] num::Xoshiro256StarStar& engine() noexcept { return rng_; }
+
+ private:
+  num::Xoshiro256StarStar rng_;
+};
+
+/// Adapts UniformRandomGenerator to the standard UniformRandomBitGenerator
+/// requirements (SEAL's RandomToStandardAdapter).
+class RandomToStandardAdapter {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit RandomToStandardAdapter(UniformRandomGenerator& generator)
+      : generator_(&generator) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint32_t{0}; }
+  result_type operator()() { return generator_->generate(); }
+
+ private:
+  UniformRandomGenerator* generator_;
+};
+
+/// Port of SEAL's util::ClippedNormalDistribution: draws from
+/// N(mean, stddev) and resamples until |x - mean| <= max_deviation.
+///
+/// The normal variate is produced by a Box-Muller transform over the
+/// adapter's 32-bit outputs so that results are platform-deterministic
+/// (std::normal_distribution is implementation-defined).
+class ClippedNormalDistribution {
+ public:
+  /// Throws std::invalid_argument unless stddev >= 0 and max_deviation >= 0.
+  ClippedNormalDistribution(double mean, double standard_deviation, double max_deviation);
+
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double standard_deviation() const noexcept { return stddev_; }
+  [[nodiscard]] double max_deviation() const noexcept { return max_dev_; }
+
+  /// Draws one clipped normal variate (resampling loop — the time-variant
+  /// behaviour the paper exploits to segment traces survives in our RISC-V
+  /// port of this function).
+  double operator()(RandomToStandardAdapter& engine);
+
+ private:
+  double next_gaussian(RandomToStandardAdapter& engine);
+
+  double mean_;
+  double stddev_;
+  double max_dev_;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace reveal::seal

@@ -1,0 +1,138 @@
+#include "seal/sampler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace reveal::seal {
+
+void set_poly_coeffs_normal(std::uint64_t* poly, UniformRandomGenerator& random,
+                            const Context& context,
+                            std::vector<std::int64_t>* sampled_out) {
+  const auto& parms = context.parms();
+  const std::size_t coeff_count = context.n();
+  const std::size_t coeff_mod_count = context.coeff_mod_count();
+  const auto& coeff_modulus = context.coeff_modulus();
+  if (sampled_out != nullptr) sampled_out->assign(coeff_count, 0);
+
+  // --- begin faithful port of SEAL v3.2 (paper Fig. 2) ---
+  RandomToStandardAdapter engine(random);
+  ClippedNormalDistribution dist(0, parms.noise_standard_deviation(),
+                                 parms.noise_max_deviation());
+  for (std::size_t i = 0; i < coeff_count; i++) {
+    const std::int64_t noise = std::llround(dist(engine));
+    if (sampled_out != nullptr) (*sampled_out)[i] = noise;
+    if (noise > 0) {
+      for (std::size_t j = 0; j < coeff_mod_count; j++) {
+        poly[i + (j * coeff_count)] = static_cast<std::uint64_t>(noise);
+      }
+    } else if (noise < 0) {
+      const std::int64_t negated = -noise;  // the negation the attack exploits
+      for (std::size_t j = 0; j < coeff_mod_count; j++) {
+        poly[i + (j * coeff_count)] =
+            coeff_modulus[j].value() - static_cast<std::uint64_t>(negated);
+      }
+    } else {
+      for (std::size_t j = 0; j < coeff_mod_count; j++) {
+        poly[i + (j * coeff_count)] = 0;
+      }
+    }
+  }
+  // --- end faithful port ---
+}
+
+void sample_poly_normal_v36(std::uint64_t* poly, UniformRandomGenerator& random,
+                            const Context& context,
+                            std::vector<std::int64_t>* sampled_out) {
+  const auto& parms = context.parms();
+  const std::size_t coeff_count = context.n();
+  const std::size_t coeff_mod_count = context.coeff_mod_count();
+  const auto& coeff_modulus = context.coeff_modulus();
+  if (sampled_out != nullptr) sampled_out->assign(coeff_count, 0);
+
+  RandomToStandardAdapter engine(random);
+  ClippedNormalDistribution dist(0, parms.noise_standard_deviation(),
+                                 parms.noise_max_deviation());
+  for (std::size_t i = 0; i < coeff_count; i++) {
+    const std::int64_t noise = std::llround(dist(engine));
+    if (sampled_out != nullptr) (*sampled_out)[i] = noise;
+    // Branch-free sign handling (SEAL v3.6 replaces the if/else chain with
+    // an iterator expression of the same shape): `flag` is all-ones exactly
+    // when noise < 0, selecting the additive offset q_j without branching.
+    const auto u_noise = static_cast<std::uint64_t>(noise);
+    const std::uint64_t flag =
+        static_cast<std::uint64_t>(-static_cast<std::int64_t>(noise < 0));
+    for (std::size_t j = 0; j < coeff_mod_count; j++) {
+      poly[i + (j * coeff_count)] = u_noise + (flag & coeff_modulus[j].value());
+    }
+  }
+}
+
+void sample_poly_ternary(Poly& poly, UniformRandomGenerator& random, const Context& context) {
+  const std::size_t n = context.n();
+  const std::size_t k = context.coeff_mod_count();
+  if (poly.coeff_count() != n || poly.coeff_mod_count() != k) poly = Poly(n, k);
+  const auto& moduli = context.coeff_modulus();
+  // Rejection-sample a uniform value in {0, 1, 2} from 32-bit words.
+  auto draw_ternary = [&random]() -> std::uint32_t {
+    for (;;) {
+      const std::uint32_t r = random.generate();
+      if (r < 0xFFFFFFFFu / 3u * 3u) return r % 3u;
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t v = draw_ternary();  // 0 -> 0, 1 -> 1, 2 -> -1
+    for (std::size_t j = 0; j < k; ++j) {
+      if (v == 2) poly.at(i, j) = moduli[j].value() - 1;
+      else poly.at(i, j) = v;
+    }
+  }
+}
+
+void sample_poly_uniform(Poly& poly, UniformRandomGenerator& random, const Context& context) {
+  const std::size_t n = context.n();
+  const std::size_t k = context.coeff_mod_count();
+  if (poly.coeff_count() != n || poly.coeff_mod_count() != k) poly = Poly(n, k);
+  const auto& moduli = context.coeff_modulus();
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::uint64_t q = moduli[j].value();
+    // Rejection sampling from 64-bit words below the largest multiple of q.
+    const std::uint64_t limit = q * (~std::uint64_t{0} / q);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t r = 0;
+      do {
+        r = (static_cast<std::uint64_t>(random.generate()) << 32) | random.generate();
+      } while (r >= limit);
+      poly.at(i, j) = r % q;
+    }
+  }
+}
+
+Poly sample_error_poly(UniformRandomGenerator& random, const Context& context,
+                       std::vector<std::int64_t>* sampled_out) {
+  Poly poly(context.n(), context.coeff_mod_count());
+  set_poly_coeffs_normal(poly.data(), random, context, sampled_out);
+  return poly;
+}
+
+void encode_noise_values(const std::vector<std::int64_t>& noise, const Context& context,
+                         Poly& poly) {
+  const std::size_t n = context.n();
+  const std::size_t k = context.coeff_mod_count();
+  if (noise.size() != n)
+    throw std::invalid_argument("encode_noise_values: noise vector size mismatch");
+  if (poly.coeff_count() != n || poly.coeff_mod_count() != k) poly = Poly(n, k);
+  const auto& moduli = context.coeff_modulus();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (noise[i] > 0) {
+        poly.at(i, j) = static_cast<std::uint64_t>(noise[i]);
+      } else if (noise[i] < 0) {
+        poly.at(i, j) = moduli[j].value() - static_cast<std::uint64_t>(-noise[i]);
+      } else {
+        poly.at(i, j) = 0;
+      }
+    }
+  }
+}
+
+}  // namespace reveal::seal

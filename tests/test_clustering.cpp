@@ -1,0 +1,86 @@
+// k-means clustering tests: synthetic separation plus the unsupervised
+// (non-profiled) sign recovery the branch leak enables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/acquisition.hpp"
+#include "numeric/rng.hpp"
+#include "sca/clustering.hpp"
+
+using namespace reveal;
+using namespace reveal::sca;
+
+TEST(KMeans, SeparatesSyntheticBlobs) {
+  num::Xoshiro256StarStar rng(1);
+  std::vector<std::vector<double>> points;
+  std::vector<int> labels;
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 100; ++i) {
+      points.push_back({centers[c][0] + rng.gaussian(), centers[c][1] + rng.gaussian()});
+      labels.push_back(c);
+    }
+  }
+  const KMeansResult result = kmeans(points, 3, 50, 7);
+  EXPECT_NEAR(cluster_purity(result.assignment, labels), 1.0, 0.02);
+  EXPECT_LT(result.iterations, 50u);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  num::Xoshiro256StarStar rng(2);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 200; ++i) points.push_back({rng.gaussian(), rng.gaussian()});
+  const double inertia2 = kmeans(points, 2, 50, 3).inertia;
+  const double inertia8 = kmeans(points, 8, 50, 3).inertia;
+  EXPECT_LT(inertia8, inertia2);
+}
+
+TEST(KMeans, Validation) {
+  EXPECT_THROW(kmeans({}, 1), std::invalid_argument);
+  EXPECT_THROW(kmeans({{1.0}}, 2), std::invalid_argument);
+  EXPECT_THROW(kmeans({{1.0}, {1.0, 2.0}}, 1), std::invalid_argument);
+  EXPECT_THROW(cluster_purity({0}, {}), std::invalid_argument);
+}
+
+TEST(KMeans, UnsupervisedSignRecoveryFromWindows) {
+  // No profiling device at all: cluster the sign-region prefixes of one
+  // campaign's windows into 3 groups — the branch patterns separate so well
+  // that the clusters ARE the signs (purity ~1). An attacker can label the
+  // clusters afterwards from their relative sizes (zero ~12.4%, +/- ~43.8%)
+  // and the distribution symmetry.
+  core::CampaignConfig cfg;
+  cfg.n = 64;
+  core::SamplerCampaign campaign(cfg);
+  std::vector<std::vector<double>> points;
+  std::vector<int> labels;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto cap = campaign.capture(seed);
+    if (cap.segments.size() != cfg.n) continue;
+    const auto windows = core::windows_from_capture(cap);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      if (windows[i].samples.size() < 60) continue;
+      points.emplace_back(windows[i].samples.begin(), windows[i].samples.begin() + 60);
+      labels.push_back(cap.noise[i] > 0 ? 1 : (cap.noise[i] < 0 ? -1 : 0));
+    }
+  }
+  ASSERT_GT(points.size(), 500u);
+  // Per-feature z-normalization (no labels needed) before clustering.
+  const std::size_t dim = points.front().size();
+  for (std::size_t f = 0; f < dim; ++f) {
+    double mean = 0.0;
+    for (const auto& p : points) mean += p[f];
+    mean /= static_cast<double>(points.size());
+    double var = 0.0;
+    for (const auto& p : points) var += (p[f] - mean) * (p[f] - mean);
+    const double sd = std::sqrt(var / static_cast<double>(points.size()));
+    if (sd == 0.0) continue;
+    for (auto& p : points) p[f] = (p[f] - mean) / sd;
+  }
+  // k > 3: value-dependent sub-structure may split a sign into several
+  // clusters, but every cluster must remain sign-PURE (the attacker merges
+  // clusters afterwards; what matters is that no cluster mixes signs).
+  const KMeansResult result = kmeans(points, 8, 80, 11);
+  EXPECT_GT(cluster_purity(result.assignment, labels), 0.97);
+}

@@ -1,0 +1,367 @@
+// LWE instance generation, hint solving, the primal attack, and the DBDD
+// security estimator (including the paper's SEAL-128 anchor point).
+
+#include <gtest/gtest.h>
+
+#include "lwe/dbdd.hpp"
+#include "lwe/lwe.hpp"
+#include "numeric/rng.hpp"
+
+using namespace reveal::lwe;
+
+namespace {
+
+std::int64_t center(std::uint64_t x, std::uint64_t q) {
+  return x > q / 2 ? static_cast<std::int64_t>(x) - static_cast<std::int64_t>(q)
+                   : static_cast<std::int64_t>(x);
+}
+
+/// Checks b - A s - e == 0 (mod q).
+bool instance_consistent(const SampledLwe& s) {
+  for (std::size_t i = 0; i < s.instance.m; ++i) {
+    std::int64_t acc = 0;
+    for (std::size_t j = 0; j < s.instance.n; ++j) {
+      acc += center(s.instance.at(i, j), s.instance.q) * s.secret[j];
+      acc %= static_cast<std::int64_t>(s.instance.q);
+    }
+    acc += s.error[i];
+    std::int64_t b = static_cast<std::int64_t>(s.instance.b[i]);
+    if (((acc - b) % static_cast<std::int64_t>(s.instance.q) + s.instance.q) %
+            s.instance.q != 0)
+      return false;
+  }
+  return true;
+}
+
+/// The paper's SEAL-128 instance as fed to the estimator: n = m = 1024,
+/// q = 132120577, sigma = 3.2 for both secret and error (framework default).
+DbddParams seal128_params() {
+  DbddParams p;
+  p.secret_dim = 1024;
+  p.error_dim = 1024;
+  p.q = 132120577.0;
+  p.secret_variance = 3.2 * 3.2;
+  p.error_variance = 3.2 * 3.2;
+  return p;
+}
+
+}  // namespace
+
+TEST(Lwe, SampledInstanceIsConsistent) {
+  reveal::num::Xoshiro256StarStar rng(1);
+  LweParams params;
+  params.n = 10;
+  params.m = 20;
+  params.q = 3329;
+  const SampledLwe s = sample_lwe(params, rng);
+  EXPECT_TRUE(instance_consistent(s));
+  for (const auto v : s.secret) EXPECT_LE(std::llabs(v), 1);  // ternary
+}
+
+TEST(Lwe, GaussianSecretVariant) {
+  reveal::num::Xoshiro256StarStar rng(2);
+  LweParams params;
+  params.n = 16;
+  params.m = 16;
+  params.secret = SecretDist::kGaussian;
+  params.sigma = 3.0;
+  const SampledLwe s = sample_lwe(params, rng);
+  EXPECT_TRUE(instance_consistent(s));
+}
+
+TEST(Lwe, KannanEmbeddingContainsPlantedVector) {
+  reveal::num::Xoshiro256StarStar rng(3);
+  LweParams params;
+  params.n = 6;
+  params.m = 10;
+  params.q = 1009;
+  const SampledLwe s = sample_lwe(params, rng);
+  const auto basis = kannan_embedding(s.instance);
+  const std::size_t d = params.m + params.n + 1;
+  ASSERT_EQ(basis.size(), d);
+
+  // Reconstruct (e | -s | 1) as an integer combination:
+  // target_row - sum_j s_j * A_row_j - k_i * q_rows.
+  std::vector<std::int64_t> v = basis[d - 1];
+  for (std::size_t j = 0; j < params.n; ++j) {
+    for (std::size_t c = 0; c < d; ++c) v[c] -= s.secret[j] * basis[params.m + j][c];
+  }
+  // Reduce the first m coordinates mod q toward the planted error.
+  for (std::size_t i = 0; i < params.m; ++i) {
+    const auto qi = static_cast<std::int64_t>(params.q);
+    std::int64_t r = v[i] % qi;
+    if (r > qi / 2) r -= qi;
+    if (r < -qi / 2) r += qi;
+    // Subtracting multiples of q rows realizes exactly this reduction.
+    v[i] = r;
+  }
+  for (std::size_t i = 0; i < params.m; ++i) EXPECT_EQ(v[i], s.error[i]) << i;
+  for (std::size_t j = 0; j < params.n; ++j) EXPECT_EQ(v[params.m + j], -s.secret[j]);
+  EXPECT_EQ(v[d - 1], 1);
+}
+
+TEST(Lwe, SolveWithPerfectHintsRecoversSecret) {
+  reveal::num::Xoshiro256StarStar rng(4);
+  LweParams params;
+  params.n = 12;
+  params.m = 24;
+  params.q = 3329;
+  const SampledLwe s = sample_lwe(params, rng);
+  std::vector<std::optional<std::int64_t>> hints(params.m);
+  for (std::size_t i = 0; i < params.m; ++i) hints[i] = s.error[i];  // all known
+  const auto recovered = solve_with_perfect_hints(s.instance, hints);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, s.secret);
+}
+
+TEST(Lwe, SolveWithTooFewHintsFails) {
+  reveal::num::Xoshiro256StarStar rng(5);
+  LweParams params;
+  params.n = 12;
+  params.m = 24;
+  const SampledLwe s = sample_lwe(params, rng);
+  std::vector<std::optional<std::int64_t>> hints(params.m);
+  for (std::size_t i = 0; i < 5; ++i) hints[i] = s.error[i];  // only 5 < n
+  EXPECT_FALSE(solve_with_perfect_hints(s.instance, hints).has_value());
+}
+
+TEST(Lwe, SolveRejectsCompositeModulus) {
+  LweInstance inst;
+  inst.n = 2;
+  inst.m = 2;
+  inst.q = 16;  // composite
+  inst.a = {1, 2, 3, 4};
+  inst.b = {0, 0};
+  std::vector<std::optional<std::int64_t>> hints = {0, 0};
+  EXPECT_THROW((void)solve_with_perfect_hints(inst, hints), std::invalid_argument);
+}
+
+TEST(Lwe, PrimalAttackRecoversToySecret) {
+  reveal::num::Xoshiro256StarStar rng(6);
+  LweParams params;
+  params.n = 8;
+  params.m = 16;
+  params.q = 1009;
+  params.sigma = 1.5;
+  const SampledLwe s = sample_lwe(params, rng);
+  const auto recovered = primal_attack(s.instance, /*block_size=*/10, /*max_tours=*/12);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, s.secret);
+}
+
+TEST(Dbdd, DeltaDecreasingInBeta) {
+  double prev = bkz_delta(2.0);
+  for (double beta = 10; beta <= 500; beta += 10) {
+    const double d = bkz_delta(beta);
+    EXPECT_LT(d, prev + 1e-12) << beta;
+    EXPECT_GT(d, 1.0);
+    prev = d;
+  }
+}
+
+TEST(Dbdd, NoHintEstimateMatchesPaperAnchor) {
+  // Paper Table III: attack without hints = 382.25 bikz (2^128). Our
+  // GSA-intersect solver should land in the same neighbourhood.
+  const SecurityEstimate est = estimate_lwe_security(seal128_params());
+  EXPECT_GT(est.beta, 330.0);
+  EXPECT_LT(est.beta, 440.0);
+  EXPECT_NEAR(est.bits, est.beta / kBikzPerBit, 1e-9);
+}
+
+TEST(Dbdd, PerfectHintsCollapseSecurity) {
+  DbddEstimator est(seal128_params());
+  est.integrate_perfect_error_hints(1024);  // all of e2 known
+  const SecurityEstimate with_hints = est.estimate();
+  // Paper Table III: 12.2 bikz — "complete break" territory.
+  EXPECT_LT(with_hints.beta, 40.0);
+  EXPECT_LT(with_hints.bits, 14.0);
+}
+
+TEST(Dbdd, HintsMonotonicallyReduceBeta) {
+  double prev = estimate_lwe_security(seal128_params()).beta;
+  for (const std::size_t hints : {128u, 256u, 512u, 768u, 1024u}) {
+    DbddEstimator est(seal128_params());
+    est.integrate_perfect_error_hints(hints);
+    const double beta = est.estimate().beta;
+    EXPECT_LE(beta, prev + 1e-9) << hints;
+    prev = beta;
+  }
+}
+
+TEST(Dbdd, ApproximateHintStrengthIsMonotoneInMeasurementNoise) {
+  // Smaller measurement variance => stronger hint => smaller beta. (For
+  // near-exact measurements the DDGR20 framework — and our hint bridge in
+  // core/hints.cpp — promotes the hint to a *perfect* one, which also
+  // shrinks the dimension; the raw conditioning update keeps the
+  // coordinate, so it is strictly weaker than a perfect hint.)
+  const double baseline = estimate_lwe_security(seal128_params()).beta;
+  double prev = baseline;
+  for (const double eps : {100.0, 10.0, 1.0, 0.01}) {
+    DbddEstimator est(seal128_params());
+    est.integrate_approximate_error_hints(eps, 512);
+    const double beta = est.estimate().beta;
+    EXPECT_LT(beta, prev + 1e-9) << eps;
+    prev = beta;
+  }
+  DbddEstimator perfect(seal128_params());
+  perfect.integrate_perfect_error_hints(512);
+  EXPECT_LE(perfect.estimate().beta, prev + 1e-9);
+}
+
+TEST(Dbdd, PosteriorHintsReduceSecurity) {
+  const double baseline = estimate_lwe_security(seal128_params()).beta;
+  DbddEstimator est(seal128_params());
+  // Sign knowledge: variance drops from 10.24 to ~3.7.
+  est.integrate_posterior_error_hints(3.7, 900);
+  est.integrate_perfect_error_hints(124);  // zeros
+  const double beta = est.estimate().beta;
+  EXPECT_LT(beta, baseline - 50.0);
+  EXPECT_GT(beta, 100.0);  // signs alone must NOT break the scheme (Table IV)
+}
+
+TEST(Dbdd, DimensionTracking) {
+  DbddEstimator est(seal128_params());
+  EXPECT_EQ(est.dim(), 2049u);
+  est.integrate_perfect_error_hints(10);
+  EXPECT_EQ(est.dim(), 2039u);
+  EXPECT_EQ(est.live_error_coords(), 1014u);
+  est.integrate_perfect_secret_hints(4);
+  EXPECT_EQ(est.live_secret_coords(), 1020u);
+}
+
+TEST(Dbdd, ParameterValidation) {
+  DbddParams bad;
+  EXPECT_THROW(DbddEstimator{bad}, std::invalid_argument);
+  DbddEstimator est(seal128_params());
+  EXPECT_THROW(est.integrate_approximate_error_hints(-1.0, 1), std::invalid_argument);
+  EXPECT_THROW(est.integrate_posterior_error_hints(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(est.integrate_perfect_error_hints(5000), std::logic_error);
+}
+
+TEST(Dbdd, BikzToBitsConvention) {
+  // Footnote 3: 382.25 bikz corresponds to 128 bits.
+  EXPECT_NEAR(382.25 / kBikzPerBit, 128.0, 1e-9);
+}
+
+TEST(Lwe, BddAttackRecoversToySecret) {
+  reveal::num::Xoshiro256StarStar rng(8);
+  LweParams params;
+  params.n = 8;
+  params.m = 16;
+  params.q = 1009;
+  params.sigma = 1.5;
+  const SampledLwe s = sample_lwe(params, rng);
+  const auto recovered = bdd_attack(s.instance, /*block_size=*/10, /*max_tours=*/8);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, s.secret);
+}
+
+TEST(Dbdd, ModularHintsReduceBeta) {
+  const double baseline = estimate_lwe_security(seal128_params()).beta;
+  double prev = baseline;
+  for (const double k : {2.0, 4.0, 16.0}) {
+    DbddEstimator est(seal128_params());
+    est.integrate_modular_error_hints(k, 1024);
+    const double beta = est.estimate().beta;
+    EXPECT_LT(beta, prev) << k;
+    prev = beta;
+  }
+  DbddEstimator bad(seal128_params());
+  EXPECT_THROW(bad.integrate_modular_error_hints(1.5, 1), std::invalid_argument);
+  EXPECT_THROW(bad.integrate_modular_error_hints(2.0, 5000), std::logic_error);
+}
+
+TEST(Dbdd, ModularHintWeakerThanPerfect) {
+  DbddEstimator modular(seal128_params());
+  modular.integrate_modular_error_hints(4.0, 1024);
+  DbddEstimator perfect(seal128_params());
+  perfect.integrate_perfect_error_hints(1024);
+  EXPECT_GT(modular.estimate().beta, perfect.estimate().beta);
+}
+
+// ---------------------------------------------------------------------------
+// Full-covariance DBDD estimator.
+
+#include "lwe/dbdd_matrix.hpp"
+
+namespace {
+DbddParams small_params() {
+  // Deliberately tight q so the toy instance is NOT already broken at
+  // beta = 2 and hint effects are visible in the estimate.
+  DbddParams p;
+  p.secret_dim = 48;
+  p.error_dim = 48;
+  p.q = 67.0;
+  p.secret_variance = 2.0 / 3.0;
+  p.error_variance = 2.25;
+  return p;
+}
+}  // namespace
+
+TEST(DbddMatrix, AgreesWithLiteOnNoHints) {
+  const DbddMatrixEstimator full(small_params());
+  const DbddEstimator lite(small_params());
+  EXPECT_EQ(full.dim(), lite.dim());
+  EXPECT_NEAR(full.logvol(), lite.logvol(), 1e-9);
+  EXPECT_NEAR(full.estimate().beta, lite.estimate().beta, 1e-3);
+}
+
+TEST(DbddMatrix, AgreesWithLiteOnCoordinateHints) {
+  DbddMatrixEstimator full(small_params());
+  DbddEstimator lite(small_params());
+  for (std::size_t i = 0; i < 16; ++i) full.integrate_perfect_error_hint(i);
+  lite.integrate_perfect_error_hints(16);
+  EXPECT_EQ(full.dim(), lite.dim());
+  EXPECT_NEAR(full.logvol(), lite.logvol(), 1e-6);
+  EXPECT_NEAR(full.estimate().beta, lite.estimate().beta, 0.1);
+}
+
+TEST(DbddMatrix, ApproximateCoordinateHintsAgreeWithLite) {
+  DbddMatrixEstimator full(small_params());
+  DbddEstimator lite(small_params());
+  const double eps = 0.5;
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::vector<double> v(96, 0.0);
+    v[47 - i] = 1.0;  // the lite variant hints from the back
+    full.integrate_approximate_hint(v, eps);
+  }
+  lite.integrate_approximate_error_hints(eps, 8);
+  EXPECT_NEAR(full.logvol(), lite.logvol(), 1e-6);
+  EXPECT_NEAR(full.estimate().beta, lite.estimate().beta, 0.1);
+}
+
+TEST(DbddMatrix, GeneralDirectionHintsReduceBeta) {
+  DbddMatrixEstimator est(small_params());
+  const double baseline = est.estimate().beta;
+  // Aggregate hints: <e, v> with v = e_i + e_{i+1} (e.g. a leakage of the
+  // SUM of two coefficients — inexpressible in the coordinate-only lite
+  // estimator).
+  for (std::size_t i = 0; i + 1 < 32; i += 2) {
+    std::vector<double> v(96, 0.0);
+    v[i] = 1.0;
+    v[i + 1] = 1.0;
+    est.integrate_perfect_hint(v);
+  }
+  EXPECT_LT(est.estimate().beta, baseline);
+}
+
+TEST(DbddMatrix, RepeatedDirectionIsDegenerate) {
+  DbddMatrixEstimator est(small_params());
+  std::vector<double> v(96, 0.0);
+  v[3] = 1.0;
+  est.integrate_perfect_hint(v);
+  EXPECT_THROW(est.integrate_perfect_hint(v), std::logic_error);
+  // Approximate hint along the same direction is a harmless no-op.
+  EXPECT_NO_THROW(est.integrate_approximate_hint(v, 1.0));
+}
+
+TEST(DbddMatrix, Validation) {
+  DbddParams bad;
+  EXPECT_THROW(DbddMatrixEstimator{bad}, std::invalid_argument);
+  DbddMatrixEstimator est(small_params());
+  EXPECT_THROW(est.integrate_perfect_hint(std::vector<double>(3, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(est.integrate_approximate_hint(std::vector<double>(96, 1.0), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(est.integrate_perfect_error_hint(48), std::invalid_argument);
+}

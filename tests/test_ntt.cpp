@@ -1,0 +1,199 @@
+// NTT correctness: inverse property, linearity, and agreement of the
+// NTT-based negacyclic product with a schoolbook reference.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "numeric/rng.hpp"
+#include "seal/modarith.hpp"
+#include "seal/ntt.hpp"
+
+namespace seal = reveal::seal;
+
+namespace {
+
+std::vector<std::uint64_t> random_poly(std::size_t n, const seal::Modulus& q,
+                                       reveal::num::Xoshiro256StarStar& rng) {
+  std::vector<std::uint64_t> out(n);
+  for (auto& v : out) v = rng() % q.value();
+  return out;
+}
+
+/// Schoolbook negacyclic product mod q (x^n = -1).
+std::vector<std::uint64_t> negacyclic_schoolbook(const std::vector<std::uint64_t>& a,
+                                                 const std::vector<std::uint64_t>& b,
+                                                 const seal::Modulus& q) {
+  const std::size_t n = a.size();
+  std::vector<std::uint64_t> out(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t prod = seal::mul_mod(a[i], b[j], q);
+      const std::size_t k = i + j;
+      if (k < n) out[k] = seal::add_mod(out[k], prod, q);
+      else out[k - n] = seal::sub_mod(out[k - n], prod, q);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(ReverseBits, Basic) {
+  EXPECT_EQ(seal::reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(seal::reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(seal::reverse_bits(5, 0), 0u);
+}
+
+TEST(NttTables, RejectsBadParameters) {
+  EXPECT_THROW(seal::NttTables(1000, seal::Modulus(132120577)), std::invalid_argument);
+  // 2^20 + 7 is not ≡ 1 mod 2n for n = 1024 (and may not be prime).
+  EXPECT_THROW(seal::NttTables(1024, seal::Modulus(1048583)), std::invalid_argument);
+  // Composite modulus rejected even if ≡ 1 mod 2n.
+  const std::uint64_t composite = 2049ULL * 5;  // 10245 = 1 + 2048*5 + ...
+  if ((composite - 1) % 2048 == 0 && !seal::is_prime_u64(composite)) {
+    EXPECT_THROW(seal::NttTables(1024, seal::Modulus(composite)), std::invalid_argument);
+  }
+}
+
+class NttRoundtrip : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(NttRoundtrip, ForwardInverseIsIdentity) {
+  const auto [n, bits] = GetParam();
+  const seal::Modulus q = seal::find_ntt_prime(bits, n);
+  const seal::NttTables tables(n, q);
+  reveal::num::Xoshiro256StarStar rng(n * 31 + bits);
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<std::uint64_t> a = random_poly(n, q, rng);
+    const std::vector<std::uint64_t> original = a;
+    tables.forward_transform(a);
+    EXPECT_NE(a, original);  // overwhelmingly likely
+    tables.inverse_transform(a);
+    EXPECT_EQ(a, original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreesAndModuli, NttRoundtrip,
+    ::testing::Values(std::make_tuple(std::size_t{4}, 10),
+                      std::make_tuple(std::size_t{8}, 14),
+                      std::make_tuple(std::size_t{64}, 20),
+                      std::make_tuple(std::size_t{256}, 24),
+                      std::make_tuple(std::size_t{1024}, 27),
+                      std::make_tuple(std::size_t{2048}, 40)));
+
+TEST(Ntt, PaperModulusRoundtrip) {
+  const seal::Modulus q(132120577);
+  const seal::NttTables tables(1024, q);
+  reveal::num::Xoshiro256StarStar rng(9);
+  std::vector<std::uint64_t> a = random_poly(1024, q, rng);
+  const auto original = a;
+  tables.forward_transform(a);
+  tables.inverse_transform(a);
+  EXPECT_EQ(a, original);
+}
+
+TEST(Ntt, MultiplicationMatchesSchoolbook) {
+  for (const std::size_t n : {8ULL, 32ULL, 64ULL}) {
+    const seal::Modulus q = seal::find_ntt_prime(20, n);
+    const seal::NttTables tables(n, q);
+    reveal::num::Xoshiro256StarStar rng(n);
+    std::vector<std::uint64_t> a = random_poly(n, q, rng);
+    std::vector<std::uint64_t> b = random_poly(n, q, rng);
+    const auto expect = negacyclic_schoolbook(a, b, q);
+
+    tables.forward_transform(a);
+    tables.forward_transform(b);
+    std::vector<std::uint64_t> c(n);
+    for (std::size_t i = 0; i < n; ++i) c[i] = seal::mul_mod(a[i], b[i], q);
+    tables.inverse_transform(c);
+    EXPECT_EQ(c, expect) << "n=" << n;
+  }
+}
+
+TEST(Ntt, Linearity) {
+  const std::size_t n = 64;
+  const seal::Modulus q = seal::find_ntt_prime(20, n);
+  const seal::NttTables tables(n, q);
+  reveal::num::Xoshiro256StarStar rng(77);
+  std::vector<std::uint64_t> a = random_poly(n, q, rng);
+  std::vector<std::uint64_t> b = random_poly(n, q, rng);
+  std::vector<std::uint64_t> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = seal::add_mod(a[i], b[i], q);
+  tables.forward_transform(a);
+  tables.forward_transform(b);
+  tables.forward_transform(sum);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(sum[i], seal::add_mod(a[i], b[i], q));
+  }
+}
+
+TEST(Ntt, TransformOfDeltaIsConstantOne) {
+  // NTT(1, 0, ..., 0) evaluates x^0 at all roots: all ones.
+  const std::size_t n = 16;
+  const seal::Modulus q = seal::find_ntt_prime(16, n);
+  const seal::NttTables tables(n, q);
+  std::vector<std::uint64_t> delta(n, 0);
+  delta[0] = 1;
+  tables.forward_transform(delta);
+  for (const std::uint64_t v : delta) EXPECT_EQ(v, 1u);
+}
+
+TEST(Ntt, SizeMismatchThrows) {
+  const seal::Modulus q = seal::find_ntt_prime(16, 16);
+  const seal::NttTables tables(16, q);
+  std::vector<std::uint64_t> wrong(8, 0);
+  EXPECT_THROW(tables.forward_transform(wrong), std::invalid_argument);
+  EXPECT_THROW(tables.inverse_transform(wrong), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fast (Shoup/Harvey lazy) NTT: must agree with the reference transform.
+
+#include "seal/ntt_fast.hpp"
+
+class FastNttEquivalence : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(FastNttEquivalence, MatchesReferenceTransforms) {
+  const auto [n, bits] = GetParam();
+  const seal::Modulus q = seal::find_ntt_prime(bits, n);
+  const seal::NttTables reference(n, q);
+  const seal::FastNttTables fast(n, q);
+  reveal::num::Xoshiro256StarStar rng(n * 7 + bits);
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<std::uint64_t> a = random_poly(n, q, rng);
+    std::vector<std::uint64_t> b = a;
+    reference.forward_transform(a);
+    fast.forward_transform(b);
+    ASSERT_EQ(a, b) << "forward mismatch, rep " << rep;
+    reference.inverse_transform(a);
+    fast.inverse_transform(b);
+    ASSERT_EQ(a, b) << "inverse mismatch, rep " << rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreesAndModuli, FastNttEquivalence,
+    ::testing::Values(std::make_tuple(std::size_t{8}, 14),
+                      std::make_tuple(std::size_t{64}, 20),
+                      std::make_tuple(std::size_t{1024}, 27),
+                      std::make_tuple(std::size_t{2048}, 50),
+                      std::make_tuple(std::size_t{4096}, 60)));
+
+TEST(FastNtt, RoundtripOnPaperModulus) {
+  const seal::Modulus q(132120577);
+  const seal::FastNttTables tables(1024, q);
+  reveal::num::Xoshiro256StarStar rng(4242);
+  std::vector<std::uint64_t> a = random_poly(1024, q, rng);
+  const auto original = a;
+  tables.forward_transform(a);
+  tables.inverse_transform(a);
+  EXPECT_EQ(a, original);
+}
+
+TEST(FastNtt, RejectsOversizedModulus) {
+  // q just below 2^61 passes; the constructor enforces the lazy bound.
+  EXPECT_NO_THROW(seal::FastNttTables(8, seal::find_ntt_prime(60, 8)));
+  EXPECT_THROW(seal::FastNttTables(1000, seal::Modulus(132120577)),
+               std::invalid_argument);
+}

@@ -1,0 +1,297 @@
+// Unit tests for the numeric substrate: RNG, matrices, statistics and
+// distribution helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "numeric/bits.hpp"
+#include "numeric/distributions.hpp"
+#include "numeric/matrix.hpp"
+#include "numeric/rng.hpp"
+#include "numeric/stats.hpp"
+
+namespace num = reveal::num;
+
+TEST(Bits, HammingWeight) {
+  EXPECT_EQ(num::hamming_weight(std::uint32_t{0}), 0);
+  EXPECT_EQ(num::hamming_weight(std::uint32_t{1}), 1);
+  EXPECT_EQ(num::hamming_weight(std::uint32_t{0xFFFFFFFFu}), 32);
+  EXPECT_EQ(num::hamming_weight(std::uint64_t{0xFFFFFFFFFFFFFFFFull}), 64);
+  EXPECT_EQ(num::hamming_weight(std::uint32_t{0b1011}), 3);
+}
+
+TEST(Bits, HammingDistance) {
+  EXPECT_EQ(num::hamming_distance(std::uint32_t{0}, std::uint32_t{0}), 0);
+  EXPECT_EQ(num::hamming_distance(std::uint32_t{0b1100}, std::uint32_t{0b1010}), 2);
+  EXPECT_EQ(num::hamming_distance(std::uint32_t{0}, ~std::uint32_t{0}), 32);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  num::Xoshiro256StarStar a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  bool differs = false;
+  num::Xoshiro256StarStar a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2() != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformBelowRespectsBound) {
+  num::Xoshiro256StarStar rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_below(17), 17u);
+  }
+  EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  num::Xoshiro256StarStar rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  num::Xoshiro256StarStar rng(5);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  num::Xoshiro256StarStar rng(11);
+  num::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.gaussian(2.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  num::Xoshiro256StarStar rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  num::Xoshiro256StarStar a(99);
+  num::Xoshiro256StarStar child = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const auto id = num::Matrix::identity(3);
+  EXPECT_EQ(id(0, 0), 1.0);
+  EXPECT_EQ(id(0, 1), 0.0);
+  const auto d = num::Matrix::diagonal({2.0, 5.0});
+  EXPECT_EQ(d(1, 1), 5.0);
+  EXPECT_EQ(d(1, 0), 0.0);
+}
+
+TEST(Matrix, MultiplyMatchesManual) {
+  num::Matrix a(2, 3), b(3, 2);
+  double v = 1.0;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) b(r, c) = v++;
+  const num::Matrix p = a * b;
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12].
+  EXPECT_EQ(p(0, 0), 1 * 7 + 2 * 9 + 3 * 11);
+  EXPECT_EQ(p(1, 1), 4 * 8 + 5 * 10 + 6 * 12);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  num::Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+  num::Matrix c(2, 2);
+  EXPECT_THROW(a + c, std::invalid_argument);
+  EXPECT_THROW((void)a.at(5, 0), std::out_of_range);
+}
+
+TEST(Matrix, CholeskySolveRoundtrip) {
+  // SPD matrix A = L0 * L0^T.
+  num::Matrix a(3, 3);
+  const double entries[3][3] = {{4, 2, 1}, {2, 5, 3}, {1, 3, 6}};
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = entries[r][c];
+  const auto chol = num::cholesky(a);
+  ASSERT_TRUE(chol.ok);
+  const std::vector<double> x_true = {1.0, -2.0, 0.5};
+  const std::vector<double> b = a.apply(x_true);
+  const std::vector<double> x = num::cholesky_solve(chol.lower, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Matrix, CholeskyRejectsIndefinite) {
+  num::Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 5.0;
+  a(1, 0) = 5.0;
+  a(1, 1) = 1.0;  // indefinite
+  EXPECT_FALSE(num::cholesky(a).ok);
+  EXPECT_THROW(num::log_det_spd(a), std::domain_error);
+}
+
+TEST(Matrix, LogDetMatchesKnown) {
+  const auto d = num::Matrix::diagonal({2.0, 3.0, 4.0});
+  EXPECT_NEAR(num::log_det_spd(d), std::log(24.0), 1e-12);
+}
+
+TEST(Matrix, InvertSpd) {
+  num::Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const num::Matrix inv = num::invert_spd(a);
+  const num::Matrix prod = a * inv;
+  EXPECT_NEAR(prod(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(prod(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(prod(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR(prod(1, 1), 1.0, 1e-12);
+}
+
+TEST(Matrix, DotAndNorm) {
+  EXPECT_EQ(num::dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_NEAR(num::norm({3, 4}), 5.0, 1e-12);
+  EXPECT_THROW(num::dot({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  num::Xoshiro256StarStar rng(3);
+  std::vector<double> xs;
+  num::RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(1.0, 2.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), num::mean_of(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), num::variance_of(xs), 1e-9);
+}
+
+TEST(Stats, MergeEquivalentToSequential) {
+  num::Xoshiro256StarStar rng(4);
+  num::RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform_double();
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, RunningCovarianceMatchesManual) {
+  // Perfectly correlated pair: cov = var.
+  num::RunningCovariance cov(2);
+  for (int i = 0; i < 10; ++i) {
+    const double x = i;
+    cov.add({x, 2.0 * x});
+  }
+  const num::Matrix c = cov.covariance();
+  EXPECT_NEAR(c(0, 1), 2.0 * c(0, 0), 1e-9);
+  EXPECT_NEAR(c(1, 1), 4.0 * c(0, 0), 1e-9);
+}
+
+TEST(Stats, PearsonCorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {2, 4, 6, 8};
+  const std::vector<double> c = {4, 3, 2, 1};
+  EXPECT_NEAR(num::pearson_correlation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(num::pearson_correlation(a, c), -1.0, 1e-12);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  num::Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps into first bin
+  h.add(100.0);   // clamps into last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_NEAR(h.bin_center(0), 0.5, 1e-12);
+}
+
+TEST(Distributions, NormalPdfCdf) {
+  EXPECT_NEAR(num::normal_pdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(num::normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(num::normal_cdf(1.96), 0.975, 1e-3);
+}
+
+TEST(Distributions, RoundedClippedPmfSumsToOne) {
+  double total = 0.0;
+  for (int k = -45; k <= 45; ++k) total += num::rounded_clipped_normal_pmf(k, 3.19, 41.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Outside the clip: zero.
+  EXPECT_EQ(num::rounded_clipped_normal_pmf(42, 3.19, 41.0), 0.0);
+}
+
+TEST(Distributions, ZeroProbabilityMatchesInterval) {
+  const double p0 = num::zero_probability(3.19, 41.0);
+  // P(|X| <= 0.5) for sigma = 3.19: about 0.1245.
+  EXPECT_NEAR(p0, 0.1245, 0.002);
+}
+
+TEST(Distributions, PositiveTailMoments) {
+  const double mean = num::positive_tail_mean(3.19, 41.0);
+  const double var = num::positive_tail_variance(3.19, 41.0);
+  EXPECT_GT(mean, 2.0);
+  EXPECT_LT(mean, 3.5);
+  EXPECT_GT(var, 2.0);
+  EXPECT_LT(var, 6.0);
+}
+
+TEST(Distributions, NormalizeProbabilities) {
+  const auto p = num::normalize_probabilities({1.0, 3.0});
+  EXPECT_NEAR(p[0], 0.25, 1e-12);
+  EXPECT_NEAR(p[1], 0.75, 1e-12);
+  const auto u = num::normalize_probabilities({0.0, 0.0, 0.0});
+  EXPECT_NEAR(u[1], 1.0 / 3.0, 1e-12);
+  EXPECT_THROW(num::normalize_probabilities({-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Distributions, SoftmaxPosterior) {
+  const auto p = num::log_scores_to_posterior({0.0, std::log(3.0)});
+  EXPECT_NEAR(p[0], 0.25, 1e-12);
+  EXPECT_NEAR(p[1], 0.75, 1e-12);
+  // Stability with large magnitudes.
+  const auto q = num::log_scores_to_posterior({-1e6, -1e6 + std::log(2.0)});
+  EXPECT_NEAR(q[1], 2.0 / 3.0, 1e-9);
+}
+
+TEST(Distributions, EntropyBits) {
+  EXPECT_NEAR(num::entropy_bits({0.5, 0.5}), 1.0, 1e-12);
+  EXPECT_NEAR(num::entropy_bits({1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(Distributions, DistributionMoments) {
+  const std::vector<int> support = {-1, 0, 1};
+  const std::vector<double> probs = {0.25, 0.5, 0.25};
+  EXPECT_NEAR(num::distribution_mean(support, probs), 0.0, 1e-12);
+  EXPECT_NEAR(num::distribution_variance(support, probs), 0.5, 1e-12);
+}

@@ -1,0 +1,221 @@
+// Power model, trace recorder and scope front-end tests.
+
+#include <gtest/gtest.h>
+
+#include "numeric/stats.hpp"
+#include "power/leakage_model.hpp"
+#include "power/scope.hpp"
+#include "power/trace_recorder.hpp"
+#include "riscv/assembler.hpp"
+#include "riscv/machine.hpp"
+
+using namespace reveal;
+using namespace reveal::riscv;
+
+namespace {
+
+power::LeakageParams quiet_params() {
+  power::LeakageParams p;
+  p.noise_sigma = 0.0;
+  return p;
+}
+
+InstrEvent make_alu_event(std::uint32_t rd_old, std::uint32_t rd_new, std::uint32_t cycles = 3) {
+  InstrEvent e;
+  e.klass = InstrClass::kAlu;
+  e.op = Op::kAdd;
+  e.rd_written = true;
+  e.rd_old = rd_old;
+  e.rd_new = rd_new;
+  e.cycles = cycles;
+  return e;
+}
+
+}  // namespace
+
+TEST(LeakageModel, WeightedHwNearHw) {
+  const power::LeakageModel model(quiet_params());
+  EXPECT_EQ(model.weighted_hw(0), 0.0);
+  // Deviations are bounded by +-bit_deviation per bit.
+  const double whw = model.weighted_hw(0xFFFFFFFFu);
+  EXPECT_NEAR(whw, 32.0, 32.0 * 0.08 + 1e-12);
+  EXPECT_GT(model.weighted_hw(0b111), model.weighted_hw(0b1));
+}
+
+TEST(LeakageModel, WeightedHwDistinguishesEqualHwValues) {
+  // HW(1) == HW(2) but the weighted versions must differ (per-bit spread) —
+  // this is what lets the template attack split values within an HW class.
+  const power::LeakageModel model(quiet_params());
+  EXPECT_NE(model.weighted_hw(1), model.weighted_hw(2));
+}
+
+TEST(LeakageModel, ExecutePowerReflectsData) {
+  const power::LeakageModel model(quiet_params());
+  const double p_small = model.execute_cycle_power(make_alu_event(0, 1));
+  const double p_large = model.execute_cycle_power(make_alu_event(0, 0xFFFFFFFFu));
+  EXPECT_GT(p_large, p_small + 3.0);  // ~ (w_hd + w_hw) * 31 more
+}
+
+TEST(LeakageModel, SampleCountEqualsCycles) {
+  const power::LeakageModel model(quiet_params());
+  num::Xoshiro256StarStar rng(1);
+  std::vector<double> out;
+  model.append_samples(make_alu_event(0, 3, 7), rng, out);
+  EXPECT_EQ(out.size(), 7u);
+  // Only the final (execute) cycle carries the data component.
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    EXPECT_NEAR(out[i], model.base_power(InstrClass::kAlu), 1e-12);
+  }
+  EXPECT_GT(out.back(), out.front());
+}
+
+TEST(LeakageModel, NoiseIsDeterministicPerSeed) {
+  power::LeakageParams p;
+  p.noise_sigma = 0.5;
+  const power::LeakageModel model(p);
+  std::vector<double> t1, t2;
+  num::Xoshiro256StarStar r1(99), r2(99);
+  model.append_samples(make_alu_event(0, 5), r1, t1);
+  model.append_samples(make_alu_event(0, 5), r2, t2);
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(LeakageModel, BaseLevelsOrdered) {
+  const power::LeakageModel model(quiet_params());
+  // Memory and multiplier activity dominates plain ALU activity.
+  EXPECT_GT(model.base_power(InstrClass::kMul), model.base_power(InstrClass::kStore));
+  EXPECT_GT(model.base_power(InstrClass::kStore), model.base_power(InstrClass::kAlu));
+}
+
+TEST(TraceRecorder, RecordsFullProgramPower) {
+  Assembler as;
+  as.li(a0, 0x55);
+  as.li(s0, 0x300);
+  as.sw(a0, 0, s0);
+  as.ebreak();
+  Machine m(4096);
+  m.load_program(as.assemble());
+
+  const power::LeakageModel model(quiet_params());
+  power::TraceRecorder recorder(model, 7);
+  ASSERT_EQ(m.run(100, &recorder), Machine::StopReason::kHalt);
+  EXPECT_EQ(recorder.samples().size(), m.cycle_count());
+}
+
+TEST(TraceRecorder, MarkersFireAtWatchedPc) {
+  Assembler as;
+  as.li(t0, 3);
+  as.label("loop");          // pc = 4
+  as.addi(t0, t0, -1);
+  as.bnez(t0, "loop");
+  as.ebreak();
+  Machine m(4096);
+  const auto words = as.assemble();
+  m.load_program(words);
+
+  const power::LeakageModel model(quiet_params());
+  power::TraceRecorder recorder(model, 1);
+  recorder.watch_pc(4, 100, /*increment=*/true);
+  ASSERT_EQ(m.run(100, &recorder), Machine::StopReason::kHalt);
+  ASSERT_EQ(recorder.markers().size(), 3u);  // loop body runs 3 times
+  EXPECT_EQ(recorder.markers()[0].tag, 100u);
+  EXPECT_EQ(recorder.markers()[2].tag, 102u);
+  EXPECT_LT(recorder.markers()[0].sample_index, recorder.markers()[1].sample_index);
+}
+
+TEST(TraceRecorder, ClearResets) {
+  const power::LeakageModel model(quiet_params());
+  power::TraceRecorder recorder(model, 1);
+  std::vector<double> dummy;
+  recorder.on_instruction(make_alu_event(0, 1));
+  EXPECT_FALSE(recorder.samples().empty());
+  recorder.clear();
+  EXPECT_TRUE(recorder.samples().empty());
+}
+
+TEST(Scope, GainAndOffset) {
+  power::ScopeParams sp;
+  sp.gain = 2.0;
+  sp.offset = 1.0;
+  const auto out = power::acquire({1.0, 2.0, 3.0}, sp);
+  EXPECT_EQ(out, (std::vector<double>{3.0, 5.0, 7.0}));
+}
+
+TEST(Scope, Decimation) {
+  power::ScopeParams sp;
+  sp.decimation = 2;
+  const auto out = power::acquire({1, 2, 3, 4, 5}, sp);
+  EXPECT_EQ(out, (std::vector<double>{1, 3, 5}));
+}
+
+TEST(Scope, MovingAverageSmooths) {
+  power::ScopeParams sp;
+  sp.bandwidth_window = 2;
+  const auto out = power::acquire({0, 10, 0, 10}, sp);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_NEAR(out[0], 0.0, 1e-12);
+  EXPECT_NEAR(out[1], 5.0, 1e-12);
+  EXPECT_NEAR(out[2], 5.0, 1e-12);
+}
+
+TEST(Scope, Quantization8Bit) {
+  power::ScopeParams sp;
+  sp.quantize_8bit = true;
+  sp.range_lo = 0.0;
+  sp.range_hi = 255.0;
+  const auto out = power::acquire({1.4, 100.6, 300.0, -5.0}, sp);
+  EXPECT_NEAR(out[0], 1.0, 1e-9);
+  EXPECT_NEAR(out[1], 101.0, 1e-9);
+  EXPECT_NEAR(out[2], 255.0, 1e-9);  // clipped high
+  EXPECT_NEAR(out[3], 0.0, 1e-9);    // clipped low
+}
+
+TEST(Scope, RejectsBadParams) {
+  power::ScopeParams sp;
+  sp.decimation = 0;
+  EXPECT_THROW(power::acquire({1.0}, sp), std::invalid_argument);
+  power::ScopeParams sq;
+  sq.quantize_8bit = true;
+  sq.range_lo = 1.0;
+  sq.range_hi = 1.0;
+  EXPECT_THROW(power::acquire({1.0}, sq), std::invalid_argument);
+}
+
+TEST(Scope, QuantizationPreservesLeakageOrdering) {
+  // End-to-end sanity: the acquisition chain must not destroy the
+  // value-dependent ordering the attack relies on.
+  const power::LeakageModel model(quiet_params());
+  const double p1 = model.execute_cycle_power(make_alu_event(0, 0x0F));
+  const double p2 = model.execute_cycle_power(make_alu_event(0, 0xFF));
+  power::ScopeParams sp;
+  sp.quantize_8bit = true;
+  sp.range_lo = 0.0;
+  sp.range_hi = 64.0;
+  const auto out = power::acquire({p1, p2}, sp);
+  EXPECT_LT(out[0], out[1]);
+}
+
+TEST(Drift, RandomWalkAccumulates) {
+  power::LeakageParams p;
+  p.noise_sigma = 0.0;
+  p.drift_sigma = 0.05;
+  const power::LeakageModel model(p);
+  power::TraceRecorder recorder(model, 42);
+  for (int i = 0; i < 500; ++i) recorder.on_instruction(make_alu_event(0, 0));
+  // With zero scope noise the samples are base + drift: the wander must be
+  // visible (nonzero spread) and continuous (bounded per-step increments).
+  const auto& s = recorder.samples();
+  double lo = s[0], hi = s[0];
+  for (const double v : s) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 0.2);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LT(std::abs(s[i] - s[i - 1]), 1.0);  // no jumps
+  }
+  recorder.clear();
+  recorder.on_instruction(make_alu_event(0, 0));
+  // clear() resets the wander: first sample returns near the base level.
+  EXPECT_NEAR(recorder.samples().front(), model.base_power(InstrClass::kAlu), 0.2);
+}

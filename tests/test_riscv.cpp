@@ -1,0 +1,477 @@
+// RV32IM simulator tests: encode/decode roundtrips, instruction semantics,
+// control flow, traps, the timing model, and small end-to-end programs.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "riscv/assembler.hpp"
+#include "riscv/machine.hpp"
+
+using namespace reveal::riscv;
+
+namespace {
+
+/// Assembles, runs (with a halt at the end), and returns the machine.
+Machine run_program(const std::function<void(Assembler&)>& body,
+                    std::size_t memory = 64 * 1024) {
+  Assembler as;
+  body(as);
+  as.ebreak();
+  Machine m(memory);
+  m.load_program(as.assemble());
+  EXPECT_EQ(m.run(100000), Machine::StopReason::kHalt) << m.trap_message();
+  return m;
+}
+
+}  // namespace
+
+TEST(Decoder, RoundtripThroughAssembler) {
+  Assembler as;
+  as.add(a0, a1, a2);
+  as.sub(s0, s1, s2);
+  as.mul(t0, t1, t2);
+  as.divu(a3, a4, a5);
+  as.lw(a0, -8, sp);
+  as.sw(a1, 12, sp);
+  as.addi(a2, a3, -2048);
+  as.andi(t3, t4, 255);
+  as.slli(a4, a5, 13);
+  as.srai(a6, a7, 31);
+  as.lui(t5, 0xFFFFF);
+  as.ecall();
+  const auto words = as.assemble();
+  const Op expect[] = {Op::kAdd, Op::kSub, Op::kMul, Op::kDivu, Op::kLw, Op::kSw,
+                       Op::kAddi, Op::kAndi, Op::kSlli, Op::kSrai, Op::kLui, Op::kEcall};
+  ASSERT_EQ(words.size(), std::size(expect));
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(decode(words[i]).op, expect[i]) << "word " << i;
+  }
+}
+
+TEST(Decoder, FieldExtraction) {
+  Assembler as;
+  as.addi(a0, a1, -7);
+  const Instruction ins = decode(as.assemble()[0]);
+  EXPECT_EQ(ins.rd, index(a0));
+  EXPECT_EQ(ins.rs1, index(a1));
+  EXPECT_EQ(ins.imm, -7);
+}
+
+TEST(Decoder, InvalidEncoding) {
+  EXPECT_EQ(decode(0xFFFFFFFFu).op, Op::kInvalid);
+  EXPECT_EQ(decode(0).op, Op::kInvalid);
+}
+
+TEST(Decoder, MnemonicsDistinct) {
+  EXPECT_EQ(mnemonic(Op::kMul), "mul");
+  EXPECT_EQ(mnemonic(Op::kSw), "sw");
+  EXPECT_EQ(mnemonic(Op::kInvalid), "invalid");
+}
+
+TEST(Machine, ArithmeticSemantics) {
+  const Machine m = run_program([](Assembler& as) {
+    as.li(a0, 100);
+    as.li(a1, -30);
+    as.add(a2, a0, a1);   // 70
+    as.sub(a3, a0, a1);   // 130
+    as.xor_(a4, a0, a1);
+    as.or_(a5, a0, a1);
+    as.and_(a6, a0, a1);
+  });
+  EXPECT_EQ(m.reg(a2), 70u);
+  EXPECT_EQ(m.reg(a3), 130u);
+  EXPECT_EQ(m.reg(a4), 100u ^ static_cast<std::uint32_t>(-30));
+  EXPECT_EQ(m.reg(a5), 100u | static_cast<std::uint32_t>(-30));
+  EXPECT_EQ(m.reg(a6), 100u & static_cast<std::uint32_t>(-30));
+}
+
+TEST(Machine, ShiftSemantics) {
+  const Machine m = run_program([](Assembler& as) {
+    as.li(a0, -16);
+    as.srai(a1, a0, 2);   // -4
+    as.srli(a2, a0, 2);   // logical
+    as.slli(a3, a0, 1);   // -32
+    as.li(t0, 3);
+    as.sra(a4, a0, t0);   // -2
+    as.srl(a5, a0, t0);
+    as.sll(a6, a0, t0);
+  });
+  EXPECT_EQ(m.reg(a1), static_cast<std::uint32_t>(-4));
+  EXPECT_EQ(m.reg(a2), static_cast<std::uint32_t>(-16) >> 2);
+  EXPECT_EQ(m.reg(a3), static_cast<std::uint32_t>(-32));
+  EXPECT_EQ(m.reg(a4), static_cast<std::uint32_t>(-2));
+  EXPECT_EQ(m.reg(a5), static_cast<std::uint32_t>(-16) >> 3);
+  EXPECT_EQ(m.reg(a6), static_cast<std::uint32_t>(-16) << 3);
+}
+
+TEST(Machine, ComparisonSemantics) {
+  const Machine m = run_program([](Assembler& as) {
+    as.li(a0, -1);
+    as.li(a1, 1);
+    as.slt(a2, a0, a1);    // -1 < 1 -> 1
+    as.sltu(a3, a0, a1);   // 0xFFFFFFFF < 1 -> 0
+    as.slti(a4, a0, 0);    // 1
+    as.sltiu(a5, a1, -1);  // 1 < 0xFFFFFFFF -> 1
+  });
+  EXPECT_EQ(m.reg(a2), 1u);
+  EXPECT_EQ(m.reg(a3), 0u);
+  EXPECT_EQ(m.reg(a4), 1u);
+  EXPECT_EQ(m.reg(a5), 1u);
+}
+
+TEST(Machine, X0IsHardwiredZero) {
+  const Machine m = run_program([](Assembler& as) {
+    as.li(a0, 5);
+    as.add(zero, a0, a0);  // write ignored
+    as.add(a1, zero, zero);
+  });
+  EXPECT_EQ(m.reg(zero), 0u);
+  EXPECT_EQ(m.reg(a1), 0u);
+}
+
+TEST(Machine, LoadStoreWidthsAndSignExtension) {
+  const Machine m = run_program([](Assembler& as) {
+    as.li(s0, 0x1000);
+    as.li(a0, -2);          // 0xFFFFFFFE
+    as.sw(a0, 0, s0);
+    as.lb(a1, 0, s0);       // 0xFE -> -2
+    as.lbu(a2, 0, s0);      // 0xFE
+    as.lh(a3, 0, s0);       // 0xFFFE -> -2
+    as.lhu(a4, 0, s0);      // 0xFFFE
+    as.lw(a5, 0, s0);
+    as.li(a6, 0x12345678);
+    as.sb(a6, 4, s0);       // stores 0x78
+    as.lbu(a7, 4, s0);
+    as.sh(a6, 8, s0);       // stores 0x5678
+    as.lhu(t0, 8, s0);
+  });
+  EXPECT_EQ(m.reg(a1), static_cast<std::uint32_t>(-2));
+  EXPECT_EQ(m.reg(a2), 0xFEu);
+  EXPECT_EQ(m.reg(a3), static_cast<std::uint32_t>(-2));
+  EXPECT_EQ(m.reg(a4), 0xFFFEu);
+  EXPECT_EQ(m.reg(a5), 0xFFFFFFFEu);
+  EXPECT_EQ(m.reg(a7), 0x78u);
+  EXPECT_EQ(m.reg(t0), 0x5678u);
+}
+
+TEST(Machine, BranchesTakenAndNotTaken) {
+  const Machine m = run_program([](Assembler& as) {
+    as.li(a0, 1);
+    as.li(a1, 2);
+    as.li(a2, 0);
+    as.blt(a0, a1, "taken");
+    as.li(a2, 99);  // skipped
+    as.label("taken");
+    as.addi(a2, a2, 1);
+    as.bge(a0, a1, "nottaken");
+    as.addi(a2, a2, 10);
+    as.label("nottaken");
+  });
+  EXPECT_EQ(m.reg(a2), 11u);
+}
+
+TEST(Machine, UnsignedBranches) {
+  const Machine m = run_program([](Assembler& as) {
+    as.li(a0, -1);  // 0xFFFFFFFF
+    as.li(a1, 1);
+    as.li(a2, 0);
+    as.bltu(a1, a0, "hit");  // 1 < 0xFFFFFFFF unsigned
+    as.li(a2, 99);
+    as.label("hit");
+    as.addi(a2, a2, 5);
+  });
+  EXPECT_EQ(m.reg(a2), 5u);
+}
+
+TEST(Machine, JalAndJalrCallReturn) {
+  const Machine m = run_program([](Assembler& as) {
+    as.li(a0, 0);
+    as.call("leaf");
+    as.addi(a0, a0, 100);  // after return
+    as.j("end");
+    as.label("leaf");
+    as.addi(a0, a0, 1);
+    as.ret();
+    as.label("end");
+  });
+  EXPECT_EQ(m.reg(a0), 101u);
+}
+
+TEST(Machine, MulDivSemantics) {
+  const Machine m = run_program([](Assembler& as) {
+    as.li(a0, -7);
+    as.li(a1, 3);
+    as.mul(a2, a0, a1);    // -21
+    as.mulh(a3, a0, a1);   // high word of -21: 0xFFFFFFFF
+    as.mulhu(a4, a0, a1);  // high of 0xFFFFFFF9 * 3
+    as.div(a5, a0, a1);    // -2 (truncation toward zero)
+    as.rem(a6, a0, a1);    // -1
+    as.divu(a7, a0, a1);
+    as.remu(t0, a0, a1);
+  });
+  EXPECT_EQ(m.reg(a2), static_cast<std::uint32_t>(-21));
+  EXPECT_EQ(m.reg(a3), 0xFFFFFFFFu);
+  const std::uint64_t wide = static_cast<std::uint64_t>(0xFFFFFFF9u) * 3u;
+  EXPECT_EQ(m.reg(a4), static_cast<std::uint32_t>(wide >> 32));
+  EXPECT_EQ(m.reg(a5), static_cast<std::uint32_t>(-2));
+  EXPECT_EQ(m.reg(a6), static_cast<std::uint32_t>(-1));
+  EXPECT_EQ(m.reg(a7), 0xFFFFFFF9u / 3u);
+  EXPECT_EQ(m.reg(t0), 0xFFFFFFF9u % 3u);
+}
+
+TEST(Machine, MulhsuSemantics) {
+  const Machine m = run_program([](Assembler& as) {
+    as.li(a0, -1);          // signed -1
+    as.li(a1, -1);          // as unsigned 0xFFFFFFFF
+    as.mulhsu(a2, a0, a1);  // (-1) * 0xFFFFFFFF = -0xFFFFFFFF, high word = -1
+  });
+  EXPECT_EQ(m.reg(a2), 0xFFFFFFFFu);
+}
+
+TEST(Machine, DivisionEdgeCases) {
+  const Machine m = run_program([](Assembler& as) {
+    as.li(a0, 5);
+    as.li(a1, 0);
+    as.div(a2, a0, a1);    // -1 per spec
+    as.divu(a3, a0, a1);   // all ones
+    as.rem(a4, a0, a1);    // dividend
+    as.remu(a5, a0, a1);   // dividend
+    as.li(a6, INT32_MIN);
+    as.li(a7, -1);
+    as.div(t0, a6, a7);    // overflow: INT32_MIN
+    as.rem(t1, a6, a7);    // 0
+  });
+  EXPECT_EQ(m.reg(a2), 0xFFFFFFFFu);
+  EXPECT_EQ(m.reg(a3), 0xFFFFFFFFu);
+  EXPECT_EQ(m.reg(a4), 5u);
+  EXPECT_EQ(m.reg(a5), 5u);
+  EXPECT_EQ(m.reg(t0), static_cast<std::uint32_t>(INT32_MIN));
+  EXPECT_EQ(m.reg(t1), 0u);
+}
+
+TEST(Machine, LiPseudoCoversConstants) {
+  for (const std::int32_t v : {0, 1, -1, 2047, -2048, 2048, -2049, 48000, 287994,
+                               0x7FFFFFFF, static_cast<std::int32_t>(0x80000000)}) {
+    const Machine m = run_program([v](Assembler& as) { as.li(a0, v); });
+    EXPECT_EQ(m.reg(a0), static_cast<std::uint32_t>(v)) << v;
+  }
+}
+
+TEST(Machine, LaLoadsDataAddress) {
+  Assembler as;
+  as.j("code");
+  as.label("table");
+  as.word(0xDEADBEEF);
+  as.label("code");
+  as.la(a0, "table");
+  as.lw(a1, 0, a0);
+  as.ebreak();
+  Machine m(4096);
+  m.load_program(as.assemble());
+  ASSERT_EQ(m.run(100), Machine::StopReason::kHalt) << m.trap_message();
+  EXPECT_EQ(m.reg(a1), 0xDEADBEEFu);
+}
+
+TEST(Machine, FibonacciProgram) {
+  const Machine m = run_program([](Assembler& as) {
+    as.li(a0, 0);  // fib(0)
+    as.li(a1, 1);  // fib(1)
+    as.li(t0, 10); // iterations
+    as.label("loop");
+    as.beqz(t0, "end");
+    as.add(a2, a0, a1);
+    as.mv(a0, a1);
+    as.mv(a1, a2);
+    as.addi(t0, t0, -1);
+    as.j("loop");
+    as.label("end");
+  });
+  EXPECT_EQ(m.reg(a0), 55u);  // fib(10)
+}
+
+TEST(Machine, TrapOnIllegalInstruction) {
+  Machine m(4096);
+  m.load_program({0xFFFFFFFFu});
+  EXPECT_EQ(m.run(10), Machine::StopReason::kTrap);
+  EXPECT_NE(m.trap_message().find("illegal"), std::string::npos);
+}
+
+TEST(Machine, TrapOnMisalignedLoad) {
+  Assembler as;
+  as.li(a0, 0x1001);
+  as.lw(a1, 0, a0);
+  Machine m(4096);
+  m.load_program(as.assemble());
+  EXPECT_EQ(m.run(10), Machine::StopReason::kTrap);
+}
+
+TEST(Machine, TrapOnOutOfBoundsStore) {
+  Assembler as;
+  as.li(a0, 0x100000);  // beyond 4 KiB memory
+  as.sw(a0, 0, a0);
+  Machine m(4096);
+  m.load_program(as.assemble());
+  EXPECT_EQ(m.run(10), Machine::StopReason::kTrap);
+}
+
+TEST(Machine, InstructionLimit) {
+  Assembler as;
+  as.label("spin");
+  as.j("spin");
+  Machine m(4096);
+  m.load_program(as.assemble());
+  EXPECT_EQ(m.run(100), Machine::StopReason::kInstrLimit);
+  EXPECT_EQ(m.retired_count(), 100u);
+}
+
+TEST(Timing, CycleAccounting) {
+  // One ALU-imm (3), one load (5), one taken branch (5), halt (3).
+  Assembler as;
+  as.li(a0, 0x100);          // addi -> 3
+  as.lw(a1, 0, a0);          // 5
+  as.beq(zero, zero, "end"); // taken -> 5
+  as.addi(a2, a2, 1);
+  as.label("end");
+  as.ebreak();               // system -> 3
+  Machine m(4096);
+  m.load_program(as.assemble());
+  ASSERT_EQ(m.run(100), Machine::StopReason::kHalt);
+  const TimingModel t;
+  EXPECT_EQ(m.cycle_count(), t.alu_imm + t.load + t.branch_taken + t.system);
+}
+
+TEST(Timing, MulIsExpensive) {
+  const TimingModel t;
+  EXPECT_GT(t.mul, 5u * t.alu);  // PicoRV32 sequential multiplier
+  EXPECT_EQ(t.cycles_for(InstrClass::kBranch, true), t.branch_taken);
+  EXPECT_EQ(t.cycles_for(InstrClass::kBranch, false), t.branch_not_taken);
+}
+
+TEST(Observer, EventsCarryDataFlow) {
+  struct Collector : ExecutionObserver {
+    std::vector<InstrEvent> events;
+    void on_instruction(const InstrEvent& e) override { events.push_back(e); }
+  } collector;
+
+  Assembler as;
+  as.li(a0, 0xFF);        // addi
+  as.li(s0, 0x200);
+  as.sw(a0, 0, s0);       // store: mem_data = 0xFF
+  as.ebreak();
+  Machine m(4096);
+  m.load_program(as.assemble());
+  ASSERT_EQ(m.run(100, &collector), Machine::StopReason::kHalt);
+
+  ASSERT_GE(collector.events.size(), 4u);
+  const auto& first = collector.events.front();
+  EXPECT_TRUE(first.rd_written);
+  EXPECT_EQ(first.rd_new, 0xFFu);
+  EXPECT_EQ(first.rd_old, 0u);
+
+  bool found_store = false;
+  for (const auto& e : collector.events) {
+    if (e.is_mem_write) {
+      EXPECT_EQ(e.mem_data, 0xFFu);
+      EXPECT_EQ(e.mem_addr, 0x200u);
+      found_store = true;
+    }
+  }
+  EXPECT_TRUE(found_store);
+}
+
+TEST(Assembler, ErrorsOnBadInput) {
+  Assembler as;
+  EXPECT_THROW(as.addi(a0, a0, 5000), std::runtime_error);   // imm too big
+  EXPECT_THROW(as.slli(a0, a0, 32), std::runtime_error);     // shamt too big
+  as.label("dup");
+  EXPECT_THROW(as.label("dup"), std::runtime_error);
+  as.j("missing");
+  EXPECT_THROW(as.assemble(), std::runtime_error);           // unresolved label
+}
+
+TEST(Machine, ResetPreservesMemoryClearsState) {
+  Assembler as;
+  as.li(a0, 42);
+  as.li(s0, 0x400);
+  as.sw(a0, 0, s0);
+  as.ebreak();
+  Machine m(4096);
+  m.load_program(as.assemble());
+  ASSERT_EQ(m.run(100), Machine::StopReason::kHalt);
+  EXPECT_EQ(m.load_word(0x400), 42u);
+  m.reset();
+  EXPECT_EQ(m.reg(a0), 0u);
+  EXPECT_EQ(m.cycle_count(), 0u);
+  EXPECT_EQ(m.load_word(0x400), 42u);  // memory intact
+}
+
+TEST(Disassembler, KnownEncodings) {
+  Assembler as;
+  as.add(a0, a1, a2);
+  as.addi(a0, a1, -7);
+  as.lw(t0, 12, sp);
+  as.sw(a1, -4, s0);
+  as.lui(t5, 0xFFFFF);
+  as.mul(t0, t1, t2);
+  as.ebreak();
+  const auto words = as.assemble();
+  EXPECT_EQ(disassemble(words[0]), "add a0, a1, a2");
+  EXPECT_EQ(disassemble(words[1]), "addi a0, a1, -7");
+  EXPECT_EQ(disassemble(words[2]), "lw t0, 12(sp)");
+  EXPECT_EQ(disassemble(words[3]), "sw a1, -4(s0)");
+  EXPECT_EQ(disassemble(words[4]), "lui t5, 1048575");
+  EXPECT_EQ(disassemble(words[5]), "mul t0, t1, t2");
+  EXPECT_EQ(disassemble(words[6]), "ebreak");
+}
+
+TEST(Disassembler, BranchAndJumpOffsets) {
+  Assembler as;
+  as.label("top");
+  as.beq(a0, a1, "top");  // offset 0
+  as.j("top");            // offset -4
+  const auto words = as.assemble();
+  EXPECT_EQ(disassemble(words[0]), "beq a0, a1, pc+0");
+  EXPECT_EQ(disassemble(words[1]), "jal zero, pc-4");
+}
+
+TEST(Disassembler, RegNames) {
+  EXPECT_EQ(reg_name(0), "zero");
+  EXPECT_EQ(reg_name(2), "sp");
+  EXPECT_EQ(reg_name(10), "a0");
+  EXPECT_EQ(reg_name(31), "t6");
+  EXPECT_EQ(reg_name(99), "x?");
+}
+
+TEST(Disassembler, InvalidWord) {
+  EXPECT_EQ(disassemble(0xFFFFFFFFu), "invalid");
+}
+
+TEST(Csr, CycleAndInstretCounters) {
+  Assembler as;
+  as.li(a0, 1);       // addi: 3 cycles, 1 instr
+  as.li(a1, 2);       // 3 cycles, 1 instr
+  as.rdcycle(a2);     // reads cycles BEFORE this instruction retires
+  as.rdinstret(a3);
+  as.ebreak();
+  Machine m(4096);
+  m.load_program(as.assemble());
+  ASSERT_EQ(m.run(100), Machine::StopReason::kHalt) << m.trap_message();
+  const TimingModel t;
+  EXPECT_EQ(m.reg(a2), 2 * t.alu_imm);  // cycles consumed before the csrr
+  EXPECT_EQ(m.reg(a3), 3u);  // li, li and the rdcycle retired before it
+}
+
+TEST(Csr, UnsupportedCsrTraps) {
+  Assembler as;
+  as.csrr(a0, 0x300);  // mstatus: not implemented
+  Machine m(4096);
+  m.load_program(as.assemble());
+  EXPECT_EQ(m.run(10), Machine::StopReason::kTrap);
+}
+
+TEST(Csr, Disassembly) {
+  Assembler as;
+  as.rdcycle(a0);
+  EXPECT_EQ(disassemble(as.assemble()[0]), "csrrs");
+}

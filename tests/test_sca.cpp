@@ -1,0 +1,300 @@
+// SCA toolkit tests: traces, segmentation, POI selection, templates,
+// branch classification and confusion reports — all on synthetic data with
+// known ground truth.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "numeric/rng.hpp"
+#include "sca/classifier.hpp"
+#include "sca/poi.hpp"
+#include "sca/report.hpp"
+#include "sca/segmentation.hpp"
+#include "sca/template_attack.hpp"
+#include "sca/trace.hpp"
+
+using namespace reveal;
+using namespace reveal::sca;
+
+TEST(TraceSet, SaveLoadRoundtrip) {
+  TraceSet set;
+  Trace t1;
+  t1.samples = {1.5, -2.5, 3.25};
+  t1.label = 7;
+  set.add(t1);
+  Trace t2;
+  t2.samples = {0.0};
+  set.add(t2);
+
+  const std::string path = std::filesystem::temp_directory_path() / "reveal_traces.bin";
+  set.save(path);
+  const TraceSet loaded = TraceSet::load(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].samples, t1.samples);
+  EXPECT_EQ(loaded[0].label, 7);
+  EXPECT_EQ(loaded[1].label, Trace::kNoLabel);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSet, LoadRejectsGarbage) {
+  const std::string path = std::filesystem::temp_directory_path() / "reveal_bad.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a trace file", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(TraceSet::load(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(TraceSet::load("/nonexistent/nope.bin"), std::runtime_error);
+}
+
+TEST(TraceOps, Normalize) {
+  Trace t;
+  t.samples = {1.0, 2.0, 3.0};
+  normalize(t);
+  double mean = 0.0;
+  for (const double v : t.samples) mean += v;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  // Constant trace untouched.
+  Trace c;
+  c.samples = {5.0, 5.0};
+  normalize(c);
+  EXPECT_EQ(c.samples, (std::vector<double>{5.0, 5.0}));
+}
+
+TEST(TraceOps, MeanTrace) {
+  TraceSet set;
+  set.add({{1.0, 3.0}, 0});
+  set.add({{3.0, 5.0, 7.0}, 0});  // longer: truncated to common length
+  const auto mean = mean_trace(set);
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_NEAR(mean[0], 2.0, 1e-12);
+  EXPECT_NEAR(mean[1], 4.0, 1e-12);
+  EXPECT_THROW(mean_trace(TraceSet{}), std::invalid_argument);
+}
+
+TEST(Segmentation, SmoothAndThreshold) {
+  const std::vector<double> flat(100, 1.0);
+  EXPECT_EQ(smooth(flat, 5), flat);
+  EXPECT_THROW(smooth(flat, 0), std::invalid_argument);
+  EXPECT_THROW((void)auto_threshold({}), std::invalid_argument);
+}
+
+TEST(Segmentation, FindsBurstsInSyntheticTrace) {
+  // Three 30-sample bursts at level 10 over a level-1 floor.
+  std::vector<double> trace(400, 1.0);
+  const std::size_t starts[] = {50, 170, 300};
+  for (const std::size_t s : starts) {
+    for (std::size_t i = s; i < s + 30; ++i) trace[i] = 10.0;
+  }
+  SegmentationConfig cfg;
+  cfg.smooth_window = 3;
+  cfg.threshold = 5.0;
+  cfg.min_burst_length = 16;
+  const auto segments = segment_trace(trace, cfg);
+  ASSERT_EQ(segments.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(static_cast<double>(segments[k].burst_begin),
+                static_cast<double>(starts[k]), 4.0);
+    EXPECT_GE(segments[k].window_begin, segments[k].burst_end);
+  }
+  // Windows tile the space between bursts.
+  EXPECT_EQ(segments[0].window_end, segments[1].burst_begin);
+  EXPECT_EQ(segments[2].window_end, trace.size());
+}
+
+TEST(Segmentation, ShortSpikesIgnored) {
+  std::vector<double> trace(200, 1.0);
+  trace[100] = 50.0;  // single-sample glitch
+  SegmentationConfig cfg;
+  cfg.smooth_window = 1;
+  cfg.threshold = 5.0;
+  cfg.min_burst_length = 8;
+  EXPECT_TRUE(segment_trace(trace, cfg).empty());
+}
+
+TEST(Segmentation, AutoThresholdSeparatesBimodal) {
+  std::vector<double> trace;
+  for (int i = 0; i < 300; ++i) trace.push_back(1.0);
+  for (int i = 0; i < 40; ++i) trace.push_back(10.0);
+  const double th = auto_threshold(trace);
+  EXPECT_GT(th, 1.5);
+  EXPECT_LT(th, 9.5);
+}
+
+TEST(Poi, ClassMeansAndSosd) {
+  TraceSet set;
+  // Class 0: flat zero; class 1: bump at index 2.
+  for (int rep = 0; rep < 4; ++rep) {
+    set.add({{0, 0, 0, 0}, 0});
+    set.add({{0, 0, 5, 0}, 1});
+  }
+  const ClassMeans means = class_means(set);
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_NEAR(means.at(1)[2], 5.0, 1e-12);
+  const auto sosd = sosd_curve(means);
+  ASSERT_EQ(sosd.size(), 4u);
+  EXPECT_NEAR(sosd[2], 25.0, 1e-12);
+  EXPECT_NEAR(sosd[0], 0.0, 1e-12);
+}
+
+TEST(Poi, SelectRespectsSpacing) {
+  const std::vector<double> sosd = {0.0, 10.0, 9.0, 8.0, 0.0, 7.0};
+  const auto pois = select_pois(sosd, 3, 2);
+  ASSERT_EQ(pois.size(), 3u);
+  // Top pick is 1; 2 is too close; 3 is picked; 5 is picked.
+  EXPECT_EQ(pois[0], 1u);
+  EXPECT_EQ(pois[1], 3u);
+  EXPECT_EQ(pois[2], 5u);
+}
+
+TEST(Poi, ExtractChecksLength) {
+  EXPECT_THROW(extract_pois({1.0, 2.0}, {5}), std::invalid_argument);
+  EXPECT_EQ(extract_pois({1.0, 2.0, 3.0}, {0, 2}), (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(Poi, UnlabelledTraceRejected) {
+  TraceSet set;
+  set.add({{1.0}, Trace::kNoLabel});
+  EXPECT_THROW(class_means(set), std::invalid_argument);
+}
+
+TEST(Templates, ClassifiesSyntheticGaussians) {
+  // Three classes with distinct 2-D means, shared covariance.
+  num::Xoshiro256StarStar rng(404);
+  const double means[3][2] = {{0, 0}, {3, 0}, {0, 3}};
+  TemplateBuilder builder(2);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 400; ++i) {
+      builder.add(c, {means[c][0] + rng.gaussian() * 0.5,
+                      means[c][1] + rng.gaussian() * 0.5});
+    }
+  }
+  const TemplateSet templates = builder.build();
+  EXPECT_EQ(templates.dim(), 2u);
+
+  int correct = 0;
+  const int trials = 600;
+  for (int i = 0; i < trials; ++i) {
+    const int c = static_cast<int>(rng.uniform_below(3));
+    const std::vector<double> obs = {means[c][0] + rng.gaussian() * 0.5,
+                                     means[c][1] + rng.gaussian() * 0.5};
+    if (templates.classify(obs) == c) ++correct;
+  }
+  EXPECT_GT(correct, trials * 95 / 100);
+}
+
+TEST(Templates, PosteriorSumsToOne) {
+  num::Xoshiro256StarStar rng(7);
+  TemplateBuilder builder(1);
+  for (int i = 0; i < 50; ++i) {
+    builder.add(0, {rng.gaussian()});
+    builder.add(1, {5.0 + rng.gaussian()});
+  }
+  const TemplateSet templates = builder.build();
+  const auto post = templates.posterior({4.8});
+  EXPECT_NEAR(post[0] + post[1], 1.0, 1e-12);
+  EXPECT_GT(post[1], 0.9);
+}
+
+TEST(Templates, BuilderValidation) {
+  EXPECT_THROW(TemplateBuilder(0), std::invalid_argument);
+  TemplateBuilder builder(2);
+  builder.add(0, {1.0, 2.0});
+  EXPECT_THROW(builder.add(0, {1.0}), std::invalid_argument);  // wrong dim
+  EXPECT_THROW((void)builder.build(), std::runtime_error);     // one class only
+  builder.add(1, {0.0, 0.0});
+  EXPECT_THROW((void)builder.build(), std::runtime_error);     // classes too small
+}
+
+TEST(Templates, DegenerateCovarianceHandledByRidge) {
+  // All observations identical per class: scatter is zero; the ridge keeps
+  // the pooled covariance invertible.
+  TemplateBuilder builder(2);
+  for (int i = 0; i < 5; ++i) {
+    builder.add(0, {0.0, 0.0});
+    builder.add(1, {1.0, 1.0});
+  }
+  const TemplateSet templates = builder.build(1e-3);
+  EXPECT_EQ(templates.classify({0.9, 1.1}), 1);
+}
+
+TEST(Classifier, SeparatesPatternsAndValidates) {
+  TraceSet train;
+  num::Xoshiro256StarStar rng(11);
+  for (int i = 0; i < 50; ++i) {
+    Trace a;
+    for (int k = 0; k < 20; ++k) a.samples.push_back(1.0 + 0.1 * rng.gaussian());
+    a.label = -1;
+    train.add(std::move(a));
+    Trace b;
+    for (int k = 0; k < 20; ++k)
+      b.samples.push_back((k < 10 ? 3.0 : 1.0) + 0.1 * rng.gaussian());
+    b.label = 1;
+    train.add(std::move(b));
+  }
+  PatternClassifier clf;
+  clf.fit(train, 16);
+  EXPECT_TRUE(clf.fitted());
+  std::vector<double> probe(20, 1.0);
+  EXPECT_EQ(clf.classify(probe), -1);
+  for (int k = 0; k < 10; ++k) probe[k] = 3.0;
+  EXPECT_EQ(clf.classify(probe), 1);
+  EXPECT_THROW((void)clf.classify({1.0}), std::invalid_argument);  // too short
+  PatternClassifier unfitted;
+  EXPECT_THROW((void)unfitted.classify(probe), std::logic_error);
+}
+
+TEST(Confusion, PercentsAndAccuracy) {
+  ConfusionMatrix cm;
+  for (int i = 0; i < 8; ++i) cm.add(1, 1);
+  for (int i = 0; i < 2; ++i) cm.add(1, 2);
+  cm.add(0, 0);
+  EXPECT_EQ(cm.total(), 11u);
+  EXPECT_NEAR(cm.percent(1, 1), 80.0, 1e-12);
+  EXPECT_NEAR(cm.percent(1, 2), 20.0, 1e-12);
+  EXPECT_NEAR(cm.accuracy(0), 100.0, 1e-12);
+  EXPECT_NEAR(cm.overall_accuracy(), 100.0 * 9 / 11, 1e-9);
+  EXPECT_EQ(cm.percent(5, 5), 0.0);  // unseen truth
+  EXPECT_EQ(cm.truths(), (std::vector<std::int32_t>{0, 1}));
+}
+
+TEST(Confusion, TableRendering) {
+  ConfusionMatrix cm;
+  cm.add(-1, -1);
+  cm.add(0, 0);
+  cm.add(1, -1);
+  const std::string table = cm.to_table(-1, 1, -1, 1);
+  EXPECT_NE(table.find("100.0"), std::string::npos);
+  EXPECT_FALSE(table.empty());
+}
+
+// ---------------------------------------------------------------------------
+// SCA metrics: ranks, guessing entropy, success@k.
+
+#include "sca/metrics.hpp"
+
+TEST(Metrics, RankOfTruth) {
+  const std::vector<std::int32_t> support = {-2, -1, 1, 2};
+  const std::vector<double> posterior = {0.1, 0.2, 0.6, 0.1};
+  EXPECT_EQ(rank_of_truth(support, posterior, 1), 1u);
+  EXPECT_EQ(rank_of_truth(support, posterior, -1), 2u);
+  EXPECT_EQ(rank_of_truth(support, posterior, -2), 3u);  // tie with 2: attacker-favourable
+  EXPECT_EQ(rank_of_truth(support, posterior, 99), 5u);  // not in support
+  EXPECT_THROW((void)rank_of_truth(support, {0.5}, 1), std::invalid_argument);
+}
+
+TEST(Metrics, AccumulatorStatistics) {
+  RankAccumulator acc;
+  EXPECT_EQ(acc.guessing_entropy(), 0.0);
+  for (const std::size_t r : {1u, 1u, 2u, 4u}) acc.add(r);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_NEAR(acc.guessing_entropy(), 2.0, 1e-12);
+  EXPECT_NEAR(acc.success_rate_at(1), 0.5, 1e-12);
+  EXPECT_NEAR(acc.success_rate_at(2), 0.75, 1e-12);
+  EXPECT_NEAR(acc.success_rate_at(4), 1.0, 1e-12);
+  EXPECT_EQ(acc.median_rank(), 2u);
+  EXPECT_THROW(acc.add(0), std::invalid_argument);
+}
