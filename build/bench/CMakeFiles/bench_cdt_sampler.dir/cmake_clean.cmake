@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cdt_sampler.dir/bench_cdt_sampler.cpp.o"
+  "CMakeFiles/bench_cdt_sampler.dir/bench_cdt_sampler.cpp.o.d"
+  "bench_cdt_sampler"
+  "bench_cdt_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cdt_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_masking_defense.dir/bench_masking_defense.cpp.o"
+  "CMakeFiles/bench_masking_defense.dir/bench_masking_defense.cpp.o.d"
+  "bench_masking_defense"
+  "bench_masking_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_masking_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

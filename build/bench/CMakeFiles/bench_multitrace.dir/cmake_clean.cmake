@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multitrace.dir/bench_multitrace.cpp.o"
+  "CMakeFiles/bench_multitrace.dir/bench_multitrace.cpp.o.d"
+  "bench_multitrace"
+  "bench_multitrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multitrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_patched_sampler.dir/bench_patched_sampler.cpp.o"
+  "CMakeFiles/bench_patched_sampler.dir/bench_patched_sampler.cpp.o.d"
+  "bench_patched_sampler"
+  "bench_patched_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_patched_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

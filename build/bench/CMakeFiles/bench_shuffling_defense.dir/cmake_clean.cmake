@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shuffling_defense.dir/bench_shuffling_defense.cpp.o"
+  "CMakeFiles/bench_shuffling_defense.dir/bench_shuffling_defense.cpp.o.d"
+  "bench_shuffling_defense"
+  "bench_shuffling_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shuffling_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_probabilities.dir/bench_table2_probabilities.cpp.o"
+  "CMakeFiles/bench_table2_probabilities.dir/bench_table2_probabilities.cpp.o.d"
+  "bench_table2_probabilities"
+  "bench_table2_probabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_probabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

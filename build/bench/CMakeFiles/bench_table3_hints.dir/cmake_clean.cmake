@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_hints.dir/bench_table3_hints.cpp.o"
+  "CMakeFiles/bench_table3_hints.dir/bench_table3_hints.cpp.o.d"
+  "bench_table3_hints"
+  "bench_table3_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_branch_only.dir/bench_table4_branch_only.cpp.o"
+  "CMakeFiles/bench_table4_branch_only.dir/bench_table4_branch_only.cpp.o.d"
+  "bench_table4_branch_only"
+  "bench_table4_branch_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_branch_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_toy_recovery.dir/bench_toy_recovery.cpp.o"
+  "CMakeFiles/bench_toy_recovery.dir/bench_toy_recovery.cpp.o.d"
+  "bench_toy_recovery"
+  "bench_toy_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_toy_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

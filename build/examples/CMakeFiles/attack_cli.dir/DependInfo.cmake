@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/attack_cli.cpp" "examples/CMakeFiles/attack_cli.dir/attack_cli.cpp.o" "gcc" "examples/CMakeFiles/attack_cli.dir/attack_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/reveal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lwe/CMakeFiles/reveal_lwe.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/reveal_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/sca/CMakeFiles/reveal_sca.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/reveal_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/reveal_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/seal/CMakeFiles/reveal_seal.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/reveal_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimate_security.dir/estimate_security.cpp.o"
+  "CMakeFiles/estimate_security.dir/estimate_security.cpp.o.d"
+  "estimate_security"
+  "estimate_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimate_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_attack_demo.dir/full_attack_demo.cpp.o"
+  "CMakeFiles/full_attack_demo.dir/full_attack_demo.cpp.o.d"
+  "full_attack_demo"
+  "full_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

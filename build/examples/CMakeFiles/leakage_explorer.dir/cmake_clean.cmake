@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_explorer.dir/leakage_explorer.cpp.o"
+  "CMakeFiles/leakage_explorer.dir/leakage_explorer.cpp.o.d"
+  "leakage_explorer"
+  "leakage_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

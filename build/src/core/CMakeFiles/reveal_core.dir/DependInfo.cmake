@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acquisition.cpp" "src/core/CMakeFiles/reveal_core.dir/acquisition.cpp.o" "gcc" "src/core/CMakeFiles/reveal_core.dir/acquisition.cpp.o.d"
+  "/root/repo/src/core/attack.cpp" "src/core/CMakeFiles/reveal_core.dir/attack.cpp.o" "gcc" "src/core/CMakeFiles/reveal_core.dir/attack.cpp.o.d"
+  "/root/repo/src/core/hints.cpp" "src/core/CMakeFiles/reveal_core.dir/hints.cpp.o" "gcc" "src/core/CMakeFiles/reveal_core.dir/hints.cpp.o.d"
+  "/root/repo/src/core/message_recovery.cpp" "src/core/CMakeFiles/reveal_core.dir/message_recovery.cpp.o" "gcc" "src/core/CMakeFiles/reveal_core.dir/message_recovery.cpp.o.d"
+  "/root/repo/src/core/residual_search.cpp" "src/core/CMakeFiles/reveal_core.dir/residual_search.cpp.o" "gcc" "src/core/CMakeFiles/reveal_core.dir/residual_search.cpp.o.d"
+  "/root/repo/src/core/victim.cpp" "src/core/CMakeFiles/reveal_core.dir/victim.cpp.o" "gcc" "src/core/CMakeFiles/reveal_core.dir/victim.cpp.o.d"
+  "/root/repo/src/core/victim_cdt.cpp" "src/core/CMakeFiles/reveal_core.dir/victim_cdt.cpp.o" "gcc" "src/core/CMakeFiles/reveal_core.dir/victim_cdt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/reveal_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/seal/CMakeFiles/reveal_seal.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/reveal_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/reveal_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sca/CMakeFiles/reveal_sca.dir/DependInfo.cmake"
+  "/root/repo/build/src/lwe/CMakeFiles/reveal_lwe.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/reveal_lattice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reveal_core.dir/acquisition.cpp.o"
+  "CMakeFiles/reveal_core.dir/acquisition.cpp.o.d"
+  "CMakeFiles/reveal_core.dir/attack.cpp.o"
+  "CMakeFiles/reveal_core.dir/attack.cpp.o.d"
+  "CMakeFiles/reveal_core.dir/hints.cpp.o"
+  "CMakeFiles/reveal_core.dir/hints.cpp.o.d"
+  "CMakeFiles/reveal_core.dir/message_recovery.cpp.o"
+  "CMakeFiles/reveal_core.dir/message_recovery.cpp.o.d"
+  "CMakeFiles/reveal_core.dir/residual_search.cpp.o"
+  "CMakeFiles/reveal_core.dir/residual_search.cpp.o.d"
+  "CMakeFiles/reveal_core.dir/victim.cpp.o"
+  "CMakeFiles/reveal_core.dir/victim.cpp.o.d"
+  "CMakeFiles/reveal_core.dir/victim_cdt.cpp.o"
+  "CMakeFiles/reveal_core.dir/victim_cdt.cpp.o.d"
+  "libreveal_core.a"
+  "libreveal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reveal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reveal_lattice.dir/lattice.cpp.o"
+  "CMakeFiles/reveal_lattice.dir/lattice.cpp.o.d"
+  "libreveal_lattice.a"
+  "libreveal_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reveal_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

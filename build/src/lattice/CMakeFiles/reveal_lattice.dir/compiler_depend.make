@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for reveal_lattice.
+# This may be replaced when dependencies are built.

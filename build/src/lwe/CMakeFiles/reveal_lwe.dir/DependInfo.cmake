@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lwe/dbdd.cpp" "src/lwe/CMakeFiles/reveal_lwe.dir/dbdd.cpp.o" "gcc" "src/lwe/CMakeFiles/reveal_lwe.dir/dbdd.cpp.o.d"
+  "/root/repo/src/lwe/dbdd_matrix.cpp" "src/lwe/CMakeFiles/reveal_lwe.dir/dbdd_matrix.cpp.o" "gcc" "src/lwe/CMakeFiles/reveal_lwe.dir/dbdd_matrix.cpp.o.d"
+  "/root/repo/src/lwe/lwe.cpp" "src/lwe/CMakeFiles/reveal_lwe.dir/lwe.cpp.o" "gcc" "src/lwe/CMakeFiles/reveal_lwe.dir/lwe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/reveal_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/seal/CMakeFiles/reveal_seal.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/reveal_lattice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reveal_lwe.dir/dbdd.cpp.o"
+  "CMakeFiles/reveal_lwe.dir/dbdd.cpp.o.d"
+  "CMakeFiles/reveal_lwe.dir/dbdd_matrix.cpp.o"
+  "CMakeFiles/reveal_lwe.dir/dbdd_matrix.cpp.o.d"
+  "CMakeFiles/reveal_lwe.dir/lwe.cpp.o"
+  "CMakeFiles/reveal_lwe.dir/lwe.cpp.o.d"
+  "libreveal_lwe.a"
+  "libreveal_lwe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reveal_lwe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/distributions.cpp" "src/numeric/CMakeFiles/reveal_numeric.dir/distributions.cpp.o" "gcc" "src/numeric/CMakeFiles/reveal_numeric.dir/distributions.cpp.o.d"
+  "/root/repo/src/numeric/matrix.cpp" "src/numeric/CMakeFiles/reveal_numeric.dir/matrix.cpp.o" "gcc" "src/numeric/CMakeFiles/reveal_numeric.dir/matrix.cpp.o.d"
+  "/root/repo/src/numeric/rng.cpp" "src/numeric/CMakeFiles/reveal_numeric.dir/rng.cpp.o" "gcc" "src/numeric/CMakeFiles/reveal_numeric.dir/rng.cpp.o.d"
+  "/root/repo/src/numeric/stats.cpp" "src/numeric/CMakeFiles/reveal_numeric.dir/stats.cpp.o" "gcc" "src/numeric/CMakeFiles/reveal_numeric.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reveal_numeric.dir/distributions.cpp.o"
+  "CMakeFiles/reveal_numeric.dir/distributions.cpp.o.d"
+  "CMakeFiles/reveal_numeric.dir/matrix.cpp.o"
+  "CMakeFiles/reveal_numeric.dir/matrix.cpp.o.d"
+  "CMakeFiles/reveal_numeric.dir/rng.cpp.o"
+  "CMakeFiles/reveal_numeric.dir/rng.cpp.o.d"
+  "CMakeFiles/reveal_numeric.dir/stats.cpp.o"
+  "CMakeFiles/reveal_numeric.dir/stats.cpp.o.d"
+  "libreveal_numeric.a"
+  "libreveal_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reveal_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

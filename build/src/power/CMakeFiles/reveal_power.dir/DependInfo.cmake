@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/leakage_model.cpp" "src/power/CMakeFiles/reveal_power.dir/leakage_model.cpp.o" "gcc" "src/power/CMakeFiles/reveal_power.dir/leakage_model.cpp.o.d"
+  "/root/repo/src/power/scope.cpp" "src/power/CMakeFiles/reveal_power.dir/scope.cpp.o" "gcc" "src/power/CMakeFiles/reveal_power.dir/scope.cpp.o.d"
+  "/root/repo/src/power/trace_recorder.cpp" "src/power/CMakeFiles/reveal_power.dir/trace_recorder.cpp.o" "gcc" "src/power/CMakeFiles/reveal_power.dir/trace_recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/reveal_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/reveal_riscv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

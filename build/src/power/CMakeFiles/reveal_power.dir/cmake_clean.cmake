@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reveal_power.dir/leakage_model.cpp.o"
+  "CMakeFiles/reveal_power.dir/leakage_model.cpp.o.d"
+  "CMakeFiles/reveal_power.dir/scope.cpp.o"
+  "CMakeFiles/reveal_power.dir/scope.cpp.o.d"
+  "CMakeFiles/reveal_power.dir/trace_recorder.cpp.o"
+  "CMakeFiles/reveal_power.dir/trace_recorder.cpp.o.d"
+  "libreveal_power.a"
+  "libreveal_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reveal_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reveal_riscv.dir/assembler.cpp.o"
+  "CMakeFiles/reveal_riscv.dir/assembler.cpp.o.d"
+  "CMakeFiles/reveal_riscv.dir/isa.cpp.o"
+  "CMakeFiles/reveal_riscv.dir/isa.cpp.o.d"
+  "CMakeFiles/reveal_riscv.dir/machine.cpp.o"
+  "CMakeFiles/reveal_riscv.dir/machine.cpp.o.d"
+  "libreveal_riscv.a"
+  "libreveal_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reveal_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

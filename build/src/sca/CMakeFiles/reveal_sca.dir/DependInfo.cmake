@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sca/alignment.cpp" "src/sca/CMakeFiles/reveal_sca.dir/alignment.cpp.o" "gcc" "src/sca/CMakeFiles/reveal_sca.dir/alignment.cpp.o.d"
+  "/root/repo/src/sca/classifier.cpp" "src/sca/CMakeFiles/reveal_sca.dir/classifier.cpp.o" "gcc" "src/sca/CMakeFiles/reveal_sca.dir/classifier.cpp.o.d"
+  "/root/repo/src/sca/clustering.cpp" "src/sca/CMakeFiles/reveal_sca.dir/clustering.cpp.o" "gcc" "src/sca/CMakeFiles/reveal_sca.dir/clustering.cpp.o.d"
+  "/root/repo/src/sca/metrics.cpp" "src/sca/CMakeFiles/reveal_sca.dir/metrics.cpp.o" "gcc" "src/sca/CMakeFiles/reveal_sca.dir/metrics.cpp.o.d"
+  "/root/repo/src/sca/poi.cpp" "src/sca/CMakeFiles/reveal_sca.dir/poi.cpp.o" "gcc" "src/sca/CMakeFiles/reveal_sca.dir/poi.cpp.o.d"
+  "/root/repo/src/sca/report.cpp" "src/sca/CMakeFiles/reveal_sca.dir/report.cpp.o" "gcc" "src/sca/CMakeFiles/reveal_sca.dir/report.cpp.o.d"
+  "/root/repo/src/sca/segmentation.cpp" "src/sca/CMakeFiles/reveal_sca.dir/segmentation.cpp.o" "gcc" "src/sca/CMakeFiles/reveal_sca.dir/segmentation.cpp.o.d"
+  "/root/repo/src/sca/template_attack.cpp" "src/sca/CMakeFiles/reveal_sca.dir/template_attack.cpp.o" "gcc" "src/sca/CMakeFiles/reveal_sca.dir/template_attack.cpp.o.d"
+  "/root/repo/src/sca/trace.cpp" "src/sca/CMakeFiles/reveal_sca.dir/trace.cpp.o" "gcc" "src/sca/CMakeFiles/reveal_sca.dir/trace.cpp.o.d"
+  "/root/repo/src/sca/tvla.cpp" "src/sca/CMakeFiles/reveal_sca.dir/tvla.cpp.o" "gcc" "src/sca/CMakeFiles/reveal_sca.dir/tvla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/reveal_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

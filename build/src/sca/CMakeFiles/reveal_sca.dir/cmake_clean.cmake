@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reveal_sca.dir/alignment.cpp.o"
+  "CMakeFiles/reveal_sca.dir/alignment.cpp.o.d"
+  "CMakeFiles/reveal_sca.dir/classifier.cpp.o"
+  "CMakeFiles/reveal_sca.dir/classifier.cpp.o.d"
+  "CMakeFiles/reveal_sca.dir/clustering.cpp.o"
+  "CMakeFiles/reveal_sca.dir/clustering.cpp.o.d"
+  "CMakeFiles/reveal_sca.dir/metrics.cpp.o"
+  "CMakeFiles/reveal_sca.dir/metrics.cpp.o.d"
+  "CMakeFiles/reveal_sca.dir/poi.cpp.o"
+  "CMakeFiles/reveal_sca.dir/poi.cpp.o.d"
+  "CMakeFiles/reveal_sca.dir/report.cpp.o"
+  "CMakeFiles/reveal_sca.dir/report.cpp.o.d"
+  "CMakeFiles/reveal_sca.dir/segmentation.cpp.o"
+  "CMakeFiles/reveal_sca.dir/segmentation.cpp.o.d"
+  "CMakeFiles/reveal_sca.dir/template_attack.cpp.o"
+  "CMakeFiles/reveal_sca.dir/template_attack.cpp.o.d"
+  "CMakeFiles/reveal_sca.dir/trace.cpp.o"
+  "CMakeFiles/reveal_sca.dir/trace.cpp.o.d"
+  "CMakeFiles/reveal_sca.dir/tvla.cpp.o"
+  "CMakeFiles/reveal_sca.dir/tvla.cpp.o.d"
+  "libreveal_sca.a"
+  "libreveal_sca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reveal_sca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

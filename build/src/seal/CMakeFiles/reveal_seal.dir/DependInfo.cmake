@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seal/biguint.cpp" "src/seal/CMakeFiles/reveal_seal.dir/biguint.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/biguint.cpp.o.d"
+  "/root/repo/src/seal/crt.cpp" "src/seal/CMakeFiles/reveal_seal.dir/crt.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/crt.cpp.o.d"
+  "/root/repo/src/seal/decryptor.cpp" "src/seal/CMakeFiles/reveal_seal.dir/decryptor.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/decryptor.cpp.o.d"
+  "/root/repo/src/seal/dgauss.cpp" "src/seal/CMakeFiles/reveal_seal.dir/dgauss.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/dgauss.cpp.o.d"
+  "/root/repo/src/seal/encoder.cpp" "src/seal/CMakeFiles/reveal_seal.dir/encoder.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/encoder.cpp.o.d"
+  "/root/repo/src/seal/encryption_params.cpp" "src/seal/CMakeFiles/reveal_seal.dir/encryption_params.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/encryption_params.cpp.o.d"
+  "/root/repo/src/seal/encryptor.cpp" "src/seal/CMakeFiles/reveal_seal.dir/encryptor.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/encryptor.cpp.o.d"
+  "/root/repo/src/seal/evaluator.cpp" "src/seal/CMakeFiles/reveal_seal.dir/evaluator.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/evaluator.cpp.o.d"
+  "/root/repo/src/seal/keys.cpp" "src/seal/CMakeFiles/reveal_seal.dir/keys.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/keys.cpp.o.d"
+  "/root/repo/src/seal/modarith.cpp" "src/seal/CMakeFiles/reveal_seal.dir/modarith.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/modarith.cpp.o.d"
+  "/root/repo/src/seal/modulus.cpp" "src/seal/CMakeFiles/reveal_seal.dir/modulus.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/modulus.cpp.o.d"
+  "/root/repo/src/seal/ntt.cpp" "src/seal/CMakeFiles/reveal_seal.dir/ntt.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/ntt.cpp.o.d"
+  "/root/repo/src/seal/ntt_fast.cpp" "src/seal/CMakeFiles/reveal_seal.dir/ntt_fast.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/ntt_fast.cpp.o.d"
+  "/root/repo/src/seal/poly.cpp" "src/seal/CMakeFiles/reveal_seal.dir/poly.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/poly.cpp.o.d"
+  "/root/repo/src/seal/random.cpp" "src/seal/CMakeFiles/reveal_seal.dir/random.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/random.cpp.o.d"
+  "/root/repo/src/seal/sampler.cpp" "src/seal/CMakeFiles/reveal_seal.dir/sampler.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/sampler.cpp.o.d"
+  "/root/repo/src/seal/serialization.cpp" "src/seal/CMakeFiles/reveal_seal.dir/serialization.cpp.o" "gcc" "src/seal/CMakeFiles/reveal_seal.dir/serialization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/reveal_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

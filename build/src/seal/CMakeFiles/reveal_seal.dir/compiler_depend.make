@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for reveal_seal.
+# This may be replaced when dependencies are built.

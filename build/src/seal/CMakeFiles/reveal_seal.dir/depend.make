@@ -1,0 +1,2 @@
+# Empty dependencies file for reveal_seal.
+# This may be replaced when dependencies are built.

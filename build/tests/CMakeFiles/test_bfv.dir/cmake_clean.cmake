@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bfv.dir/test_bfv.cpp.o"
+  "CMakeFiles/test_bfv.dir/test_bfv.cpp.o.d"
+  "test_bfv"
+  "test_bfv.pdb"
+  "test_bfv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bfv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modulus.dir/test_modulus.cpp.o"
+  "CMakeFiles/test_modulus.dir/test_modulus.cpp.o.d"
+  "test_modulus"
+  "test_modulus.pdb"
+  "test_modulus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modulus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

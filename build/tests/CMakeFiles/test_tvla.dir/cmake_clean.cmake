@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tvla.dir/test_tvla.cpp.o"
+  "CMakeFiles/test_tvla.dir/test_tvla.cpp.o.d"
+  "test_tvla"
+  "test_tvla.pdb"
+  "test_tvla[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tvla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

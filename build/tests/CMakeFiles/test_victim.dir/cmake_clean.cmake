@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_victim.dir/test_victim.cpp.o"
+  "CMakeFiles/test_victim.dir/test_victim.cpp.o.d"
+  "test_victim"
+  "test_victim.pdb"
+  "test_victim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_numeric[1]_include.cmake")
+include("/root/repo/build/tests/test_modulus[1]_include.cmake")
+include("/root/repo/build/tests/test_biguint[1]_include.cmake")
+include("/root/repo/build/tests/test_ntt[1]_include.cmake")
+include("/root/repo/build/tests/test_poly[1]_include.cmake")
+include("/root/repo/build/tests/test_sampler[1]_include.cmake")
+include("/root/repo/build/tests/test_bfv[1]_include.cmake")
+include("/root/repo/build/tests/test_riscv[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_sca[1]_include.cmake")
+include("/root/repo/build/tests/test_lattice[1]_include.cmake")
+include("/root/repo/build/tests/test_lwe[1]_include.cmake")
+include("/root/repo/build/tests/test_victim[1]_include.cmake")
+include("/root/repo/build/tests/test_attack_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_tvla[1]_include.cmake")
+include("/root/repo/build/tests/test_serialization[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_crt[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_alignment[1]_include.cmake")
+include("/root/repo/build/tests/test_clustering[1]_include.cmake")
