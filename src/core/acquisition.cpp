@@ -42,6 +42,10 @@ FullCapture SamplerCampaign::capture(std::uint64_t seed) {
 
   FullCapture cap;
   cap.trace = recorder.take_samples();
+  if (config_.faults.any()) {
+    const power::FaultInjector injector(config_.faults);
+    cap.trace = injector.apply(std::move(cap.trace), seed);
+  }
   cap.noise = run.noise;
   cap.segments = sca::segment_trace(cap.trace, config_.segmentation);
   const double threshold = config_.segmentation.threshold > 0.0

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/victim.hpp"
+#include "power/fault_injector.hpp"
 #include "power/leakage_model.hpp"
 #include "sca/segmentation.hpp"
 #include "sca/trace.hpp"
@@ -22,6 +23,10 @@ struct CampaignConfig {
   bool shuffled_firmware = false;  ///< run the shuffling-countermeasure victim
   bool masked_firmware = false;    ///< run the share-masked-store victim
   power::LeakageParams leakage{};
+  /// Acquisition faults injected into every captured trace (default: none —
+  /// bit-identical to the clean pipeline). Fault randomness derives from
+  /// (faults.seed, capture seed), so degraded campaigns stay reproducible.
+  power::FaultSpec faults{};
   sca::SegmentationConfig segmentation{
       .smooth_window = 5,
       // Between the worst-case smoothed normal-code level (~8) and the

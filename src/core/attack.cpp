@@ -1,6 +1,8 @@
 #include "core/attack.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <stdexcept>
 
@@ -90,10 +92,65 @@ void RevealAttack::train(const std::vector<WindowRecord>& profiling) {
         "RevealAttack::train: profiling set lacks positive or negative examples");
 }
 
-CoefficientGuess RevealAttack::attack_window(const std::vector<double>& window) const {
+CoefficientGuess RevealAttack::attack_window(const std::vector<double>& window,
+                                             double window_quality) const {
   if (!trained()) throw std::logic_error("RevealAttack: train() first");
   CoefficientGuess guess;
-  guess.sign = static_cast<int>(sign_classifier_.classify(window));
+
+  // A window the classifier cannot even read is a total loss, not an error.
+  if (window.size() < config_.sign_prefix) {
+    guess.quality = GuessQuality::kAbstained;
+    guess.sign_trusted = false;
+    return guess;
+  }
+
+  // Sign decision with its decision margin: distance gap between the two
+  // closest branch patterns, relative to the winner.
+  const std::map<std::int32_t, double> dists = sign_classifier_.distances(window);
+  std::int32_t best_label = 0;
+  double d1 = std::numeric_limits<double>::infinity();
+  double d2 = std::numeric_limits<double>::infinity();
+  for (const auto& [label, d] : dists) {
+    if (d < d1) {
+      d2 = d1;
+      d1 = d;
+      best_label = label;
+    } else if (d < d2) {
+      d2 = d;
+    }
+  }
+  guess.sign = static_cast<int>(best_label);
+  guess.sign_margin = std::isinf(d2) ? d2 : (d2 - d1) / std::max(d1, 1e-12);
+
+  if (config_.abstain_margin > 0.0 && guess.sign_margin < config_.abstain_margin) {
+    guess.quality = GuessQuality::kAbstained;
+    guess.sign_trusted = false;
+    return guess;
+  }
+  // Absolute fit: a window far from *every* branch pattern is corrupted,
+  // however clear the relative margin looks.
+  if (config_.sign_fit_threshold > 0.0 &&
+      d1 * d1 > config_.sign_fit_threshold * static_cast<double>(config_.sign_prefix)) {
+    guess.quality = GuessQuality::kAbstained;
+    guess.sign_trusted = false;
+    return guess;
+  }
+  if (config_.low_confidence_margin > 0.0 &&
+      guess.sign_margin < config_.low_confidence_margin)
+    guess.quality = GuessQuality::kLowConfidence;
+
+  // Segmentation quality gates (only bite when the robust pipeline passes a
+  // score below 1): a suspect window cannot carry a full-confidence hint,
+  // and a junk window cannot be trusted at all.
+  if (window_quality < 0.5 * config_.min_window_quality) {
+    guess.quality = GuessQuality::kAbstained;
+    guess.sign_trusted = false;
+    return guess;
+  }
+  if (window_quality < config_.min_window_quality &&
+      guess.quality == GuessQuality::kOk)
+    guess.quality = GuessQuality::kLowConfidence;
+
   if (guess.sign == 0) {
     guess.value = 0;
     guess.support = {0};
@@ -102,7 +159,26 @@ CoefficientGuess RevealAttack::attack_window(const std::vector<double>& window) 
   }
   const sca::TemplateSet& templates = guess.sign > 0 ? *pos_templates_ : *neg_templates_;
   const std::vector<std::size_t>& pois = guess.sign > 0 ? pos_pois_ : neg_pois_;
+  // Truncated windows that no longer cover the POIs keep the (trusted) sign
+  // but cannot support a value guess.
+  for (const std::size_t p : pois) {
+    if (p >= window.size()) {
+      guess.quality = GuessQuality::kAbstained;
+      return guess;
+    }
+  }
   const std::vector<double> observation = sca::extract_pois(window, pois);
+  if (config_.value_fit_threshold > 0.0) {
+    const std::vector<double> maha = templates.mahalanobis(observation);
+    double best_fit = std::numeric_limits<double>::infinity();
+    for (const double m : maha) best_fit = std::min(best_fit, m);
+    if (best_fit > config_.value_fit_threshold * static_cast<double>(pois.size())) {
+      // The observation matches no template: any posterior computed from it
+      // would be an overconfident artifact of the softmax. Keep the sign.
+      guess.quality = GuessQuality::kAbstained;
+      return guess;
+    }
+  }
   guess.support = templates.labels();
   guess.posterior = templates.posterior(observation);
   std::size_t best = 0;
@@ -110,7 +186,34 @@ CoefficientGuess RevealAttack::attack_window(const std::vector<double>& window) 
     if (guess.posterior[i] > guess.posterior[best]) best = i;
   }
   guess.value = guess.support[best];
+  if (config_.value_commit_threshold > 0.0 &&
+      guess.posterior[best] < config_.value_commit_threshold)
+    guess.quality = GuessQuality::kAbstained;  // sign stays trusted
   return guess;
+}
+
+RobustCaptureResult RevealAttack::attack_capture_robust(
+    const std::vector<double>& trace, std::size_t expected_windows,
+    const sca::SegmentationConfig& seg_config) const {
+  if (!trained()) throw std::logic_error("RevealAttack: train() first");
+  RobustCaptureResult out;
+  out.segmentation = sca::segment_trace_robust(trace, expected_windows, seg_config);
+  if (out.segmentation.status == sca::SegmentationStatus::kFailed) return out;
+
+  const double threshold = out.segmentation.config.threshold > 0.0
+                               ? out.segmentation.config.threshold
+                               : sca::auto_threshold(trace);
+  anchor_windows_at_burst_edge(trace, out.segmentation.segments, threshold);
+
+  out.guesses.reserve(out.segmentation.segments.size());
+  for (std::size_t i = 0; i < out.segmentation.segments.size(); ++i) {
+    const sca::Segment& seg = out.segmentation.segments[i];
+    const std::vector<double> window(
+        trace.begin() + static_cast<std::ptrdiff_t>(seg.window_begin),
+        trace.begin() + static_cast<std::ptrdiff_t>(seg.window_end));
+    out.guesses.push_back(attack_window(window, out.segmentation.window_quality[i]));
+  }
+  return out;
 }
 
 std::vector<CoefficientGuess> RevealAttack::attack_capture(const FullCapture& capture) const {

@@ -35,6 +35,42 @@ struct AttackConfig {
   /// probabilities that "rounded up to 1 ... because of floating-point
   /// precision" are used as perfect hints).
   double perfect_hint_threshold = 1e-6;
+
+  // --- degradation awareness (all 0 = disabled: exact seed behaviour) ---
+  /// Relative Fisher-distance margin (d2 - d1) / d1 between the two closest
+  /// sign patterns below which the branch classifier abstains entirely
+  /// (the guess carries no trusted information).
+  double abstain_margin = 0.0;
+  /// Margin below which a committed guess is flagged low-confidence (its
+  /// hint variance gets inflated instead of trusted verbatim).
+  double low_confidence_margin = 0.0;
+  /// Maximum-posterior probability below which the value stage abstains;
+  /// the sign remains trusted (sign-only hint fallback).
+  double value_commit_threshold = 0.0;
+  /// Segmentation window quality below which a guess is capped at
+  /// low-confidence; below half of it the window is abstained untrusted.
+  /// Only consulted when a quality score is supplied (robust pipeline).
+  double min_window_quality = 0.5;
+  /// Absolute goodness-of-fit gates. The margin gates above are *relative*
+  /// (distance gap between the two closest classes) and miss corrupted
+  /// windows that drift far from every class but closer to a wrong one —
+  /// the overconfident-posterior failure mode. These gates bound how far an
+  /// observation may sit from its best-matching class at all.
+  /// Sign stage: abstain (untrusted) when the squared Fisher distance to the
+  /// closest branch pattern exceeds `sign_fit_threshold` per prefix sample
+  /// (clean windows score ~1, the within-class expectation).
+  double sign_fit_threshold = 0.0;
+  /// Value stage: abstain the value (sign stays trusted) when the best
+  /// template's squared Mahalanobis distance exceeds `value_fit_threshold`
+  /// per POI (clean observations score ~1 by the chi-square law).
+  double value_fit_threshold = 0.0;
+};
+
+/// How much of a coefficient guess survives acquisition degradation.
+enum class GuessQuality {
+  kOk,             ///< full-confidence guess (seed-pipeline behaviour)
+  kLowConfidence,  ///< committed, but hint variance must be inflated
+  kAbstained,      ///< no committed value; sign-only or no information
 };
 
 /// Outcome for one coefficient window.
@@ -43,8 +79,18 @@ struct CoefficientGuess {
   std::int32_t value = 0;             ///< maximum-likelihood value
   std::vector<std::int32_t> support;  ///< candidate values (empty if sign==0)
   std::vector<double> posterior;      ///< probabilities aligned with support
+  GuessQuality quality = GuessQuality::kOk;
+  bool sign_trusted = true;  ///< false: even the sign is unreliable (no hint)
+  double sign_margin = 0.0;  ///< relative margin of the sign decision
   [[nodiscard]] double posterior_variance() const;
   [[nodiscard]] double posterior_mean() const;
+};
+
+/// Robust single-capture attack outcome: the segmentation diagnosis plus
+/// the per-window guesses (empty when segmentation failed outright).
+struct RobustCaptureResult {
+  sca::SegmentationResult segmentation;
+  std::vector<CoefficientGuess> guesses;
 };
 
 class RevealAttack {
@@ -65,12 +111,24 @@ class RevealAttack {
     return neg_pois_;
   }
 
-  /// Attacks one window.
-  [[nodiscard]] CoefficientGuess attack_window(const std::vector<double>& window) const;
+  /// Attacks one window. `window_quality` (from robust segmentation) caps
+  /// the guess quality; 1.0 means "trust the window fully". Degraded
+  /// windows (too short for the classifier or the POIs) abstain instead of
+  /// throwing.
+  [[nodiscard]] CoefficientGuess attack_window(const std::vector<double>& window,
+                                               double window_quality = 1.0) const;
 
   /// Attacks every window of a capture (single-trace attack).
   [[nodiscard]] std::vector<CoefficientGuess> attack_capture(
       const FullCapture& capture) const;
+
+  /// Degradation-aware single-trace attack: robust segmentation with the
+  /// expected window count, burst-edge anchoring, then per-window attacks
+  /// gated by the segmentation quality scores. Never throws on a bad trace;
+  /// a failed segmentation returns zero guesses with the diagnosis attached.
+  [[nodiscard]] RobustCaptureResult attack_capture_robust(
+      const std::vector<double>& trace, std::size_t expected_windows,
+      const sca::SegmentationConfig& seg_config) const;
 
  private:
   AttackConfig config_;

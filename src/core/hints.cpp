@@ -1,5 +1,7 @@
 #include "core/hints.hpp"
 
+#include <algorithm>
+
 #include "numeric/distributions.hpp"
 
 namespace reveal::core {
@@ -18,6 +20,65 @@ HintSummary integrate_guess_hints(lwe::DbddEstimator& estimator,
       estimator.integrate_posterior_error_hints(variance, 1);
       ++summary.approximate;
       var_acc += variance;
+    }
+  }
+  if (summary.approximate > 0)
+    summary.mean_residual_variance = var_acc / static_cast<double>(summary.approximate);
+  return summary;
+}
+
+bool routes_as_perfect(const CoefficientGuess& g, const HintPolicy& policy) {
+  if (g.quality != GuessQuality::kOk) return false;
+  if (g.sign == 0 && policy.zero_hint_variance > 0.0) return false;
+  return g.posterior_variance() <= policy.perfect_threshold;
+}
+
+HintSummary integrate_guess_hints(lwe::DbddEstimator& estimator,
+                                  const std::vector<CoefficientGuess>& guesses,
+                                  const HintPolicy& policy) {
+  const double side_variance =
+      num::positive_tail_variance(policy.sigma, policy.max_deviation);
+  HintSummary summary;
+  double var_acc = 0.0;
+  for (const auto& g : guesses) {
+    switch (g.quality) {
+      case GuessQuality::kOk: {
+        if (g.sign == 0 && policy.zero_hint_variance > 0.0) {
+          estimator.integrate_posterior_error_hints(policy.zero_hint_variance, 1);
+          ++summary.approximate;
+          var_acc += policy.zero_hint_variance;
+          break;
+        }
+        const double variance = g.posterior_variance();
+        if (variance <= policy.perfect_threshold) {
+          estimator.integrate_perfect_error_hints(1);
+          ++summary.perfect;
+        } else {
+          estimator.integrate_posterior_error_hints(variance, 1);
+          ++summary.approximate;
+          var_acc += variance;
+        }
+        break;
+      }
+      case GuessQuality::kLowConfidence: {
+        const double variance =
+            std::max(g.posterior_variance() * policy.low_confidence_inflation,
+                     policy.min_inflated_variance);
+        estimator.integrate_posterior_error_hints(variance, 1);
+        ++summary.approximate;
+        var_acc += variance;
+        break;
+      }
+      case GuessQuality::kAbstained: {
+        if (!g.sign_trusted) {
+          ++summary.skipped;
+          break;
+        }
+        estimator.integrate_posterior_error_hints(
+            g.sign == 0 ? policy.abstained_zero_variance : side_variance, 1);
+        ++summary.sign_only;
+        break;
+      }
     }
   }
   if (summary.approximate > 0)
@@ -44,6 +105,32 @@ HintSummary integrate_sign_only_hints(lwe::DbddEstimator& estimator,
   }
   summary.mean_residual_variance = summary.approximate > 0 ? side_variance : 0.0;
   return summary;
+}
+
+sca::RecoveryReport summarize_recovery(const RobustCaptureResult& result,
+                                       std::size_t expected_windows,
+                                       const HintSummary& hints,
+                                       const lwe::SecurityEstimate& estimate) {
+  sca::RecoveryReport report;
+  report.expected_windows = expected_windows;
+  report.recovered_windows = result.segmentation.segments.size();
+  report.segmentation_status = result.segmentation.status;
+  report.segmentation_attempts = result.segmentation.attempts;
+  report.burst_consistency = result.segmentation.burst_consistency;
+  for (const CoefficientGuess& g : result.guesses) {
+    switch (g.quality) {
+      case GuessQuality::kOk: ++report.ok_guesses; break;
+      case GuessQuality::kLowConfidence: ++report.low_confidence_guesses; break;
+      case GuessQuality::kAbstained: ++report.abstained_guesses; break;
+    }
+  }
+  report.perfect_hints = hints.perfect;
+  report.approximate_hints = hints.approximate;
+  report.sign_only_hints = hints.sign_only;
+  report.dropped_hints = hints.skipped;
+  report.bikz = estimate.beta;
+  report.bits = estimate.bits;
+  return report;
 }
 
 }  // namespace reveal::core

@@ -9,6 +9,7 @@
 
 #include "core/attack.hpp"
 #include "lwe/dbdd.hpp"
+#include "sca/report.hpp"
 
 namespace reveal::core {
 
@@ -16,14 +17,64 @@ struct HintSummary {
   std::size_t perfect = 0;      ///< coefficients integrated as perfect hints
   std::size_t approximate = 0;  ///< integrated with residual variance
   double mean_residual_variance = 0.0;  ///< over the approximate ones
+  std::size_t sign_only = 0;  ///< abstained values demoted to sign-only hints
+  std::size_t skipped = 0;    ///< abstained without a trusted sign: no hint
 };
 
 /// Integrates full-attack guesses (sign + value posteriors) for the error
 /// coordinates of `estimator`. `perfect_threshold` is the posterior-variance
-/// cutoff below which a guess counts as a perfect hint.
+/// cutoff below which a guess counts as a perfect hint. Ignores guess
+/// quality flags (the seed pipeline's behaviour; suitable only for clean
+/// captures).
 HintSummary integrate_guess_hints(lwe::DbddEstimator& estimator,
                                   const std::vector<CoefficientGuess>& guesses,
                                   double perfect_threshold);
+
+/// Degradation-aware hint routing (paper §IV-C's perfect/approximate split,
+/// extended with fallbacks for degraded captures). Perfect hints require a
+/// full-confidence guess AND a near-zero posterior variance — a corrupted
+/// window can therefore never poison the estimator with a wrong "exact"
+/// coefficient; it degrades into a wider approximate hint, a sign-only
+/// hint, or no hint at all, raising bikz instead of breaking correctness.
+struct HintPolicy {
+  /// Posterior-variance cutoff for perfect hints (full-confidence only).
+  double perfect_threshold = 1e-6;
+  /// Low-confidence guesses keep their posterior but the hint variance is
+  /// inflated: max(variance * inflation, min_inflated_variance).
+  double low_confidence_inflation = 4.0;
+  double min_inflated_variance = 0.25;
+  /// Sampler parameters for the sign-only fallback (half-Gaussian variance).
+  double sigma = 3.19;
+  double max_deviation = 41.0;
+  /// Residual variance of an abstained-value "zero" detection (the branch
+  /// said zero but the window was degraded: close to exact, never perfect).
+  double abstained_zero_variance = 0.25;
+  /// Variance assigned to full-confidence zero detections. Zeros are decided
+  /// by the branch classifier alone — the template stage (whose absolute
+  /// Mahalanobis fit exposes corrupted windows) never sees them — so under
+  /// acquisition faults a time-warped +-1 window can classify as zero while
+  /// passing every margin and fit gate. The robust policy therefore never
+  /// grants zeros perfect status: they integrate at this (small) variance,
+  /// which covers an off-by-one truth at two sigma. Set to 0 to restore the
+  /// clean-pipeline behaviour where zero detections are exact (Table III).
+  double zero_hint_variance = 0.25;
+};
+
+/// True if `g` would be integrated as a *perfect* hint under `policy` —
+/// the exact predicate used by integrate_guess_hints, exported so tests and
+/// benches can count (and cross-check) perfect hints without duplicating
+/// the routing rules.
+[[nodiscard]] bool routes_as_perfect(const CoefficientGuess& g, const HintPolicy& policy);
+
+HintSummary integrate_guess_hints(lwe::DbddEstimator& estimator,
+                                  const std::vector<CoefficientGuess>& guesses,
+                                  const HintPolicy& policy);
+
+/// Collates one robust capture attack + its hint integration + the
+/// resulting security estimate into a per-stage RecoveryReport.
+[[nodiscard]] sca::RecoveryReport summarize_recovery(
+    const RobustCaptureResult& result, std::size_t expected_windows,
+    const HintSummary& hints, const lwe::SecurityEstimate& estimate);
 
 /// Branch-only adversary (paper Table IV): only the sign / zero information
 /// is used. Zero coefficients become perfect hints; signed ones are

@@ -1,0 +1,138 @@
+#include "power/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reveal::power {
+
+bool FaultSpec::any() const noexcept {
+  return jitter_sigma > 0.0 || dropout_rate > 0.0 || glitch_count > 0 ||
+         burst_count > 0 || drift_sigma > 0.0 || clip || trigger_misalign > 0;
+}
+
+double FaultSpec::severity() const noexcept {
+  // Each term is roughly "1.0 = enough to visibly hurt the attack"; the sum
+  // orders sweep levels for reporting, nothing more.
+  double s = 0.0;
+  s += jitter_sigma;
+  s += dropout_rate * 20.0;
+  s += static_cast<double>(glitch_count) / 4.0;
+  s += static_cast<double>(burst_count) * burst_sigma / 3.0;
+  s += drift_sigma * 100.0;
+  s += clip ? 0.5 : 0.0;
+  s += static_cast<double>(trigger_misalign) / 50.0;
+  return s;
+}
+
+std::vector<double> FaultInjector::time_warp(const std::vector<double>& trace,
+                                             double jitter_sigma,
+                                             num::Xoshiro256StarStar& rng) {
+  if (jitter_sigma <= 0.0 || trace.size() < 2) return trace;
+  std::vector<double> out;
+  out.reserve(trace.size());
+  const double last = static_cast<double>(trace.size() - 1);
+  double pos = 0.0;
+  while (pos <= last) {
+    const std::size_t i = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(i);
+    const double a = trace[i];
+    const double b = i + 1 < trace.size() ? trace[i + 1] : trace[i];
+    out.push_back(a + frac * (b - a));
+    // The effective period never reverses: clamp to a tenth of a cycle.
+    pos += std::max(0.1, 1.0 + rng.gaussian(0.0, jitter_sigma));
+  }
+  return out;
+}
+
+void FaultInjector::drop_samples(std::vector<double>& trace, double rate,
+                                 num::Xoshiro256StarStar& rng) {
+  if (rate <= 0.0) return;
+  if (rate >= 1.0) throw std::invalid_argument("FaultInjector: dropout_rate must be < 1");
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (rng.bernoulli(rate)) trace[i] = trace[i - 1];
+  }
+}
+
+std::vector<double> FaultInjector::misalign_trigger(const std::vector<double>& trace,
+                                                    std::size_t max_shift,
+                                                    num::Xoshiro256StarStar& rng) {
+  if (max_shift == 0 || trace.empty()) return trace;
+  const auto bound = static_cast<std::int64_t>(std::min(max_shift, trace.size() - 1));
+  const std::int64_t shift = rng.uniform_int(-bound, bound);
+  if (shift == 0) return trace;
+  if (shift > 0) {
+    // Late trigger: the head of the trace was never captured.
+    return {trace.begin() + shift, trace.end()};
+  }
+  // Early trigger: pre-trigger floor-level samples precede the real signal.
+  // Estimate the floor from the lower half of the head of the trace.
+  const std::size_t probe = std::min<std::size_t>(trace.size(), 256);
+  std::vector<double> head(trace.begin(), trace.begin() + static_cast<std::ptrdiff_t>(probe));
+  std::nth_element(head.begin(), head.begin() + static_cast<std::ptrdiff_t>(probe / 4),
+                   head.end());
+  const double floor_level = head[probe / 4];
+  std::vector<double> out;
+  out.reserve(trace.size() + static_cast<std::size_t>(-shift));
+  for (std::int64_t i = 0; i < -shift; ++i) {
+    out.push_back(floor_level + rng.gaussian(0.0, 0.05));
+  }
+  out.insert(out.end(), trace.begin(), trace.end());
+  return out;
+}
+
+void FaultInjector::add_glitches(std::vector<double>& trace, std::size_t count,
+                                 double amplitude, num::Xoshiro256StarStar& rng) {
+  if (count == 0 || trace.empty()) return;
+  for (std::size_t g = 0; g < count; ++g) {
+    const std::size_t i = rng.uniform_below(trace.size());
+    trace[i] += rng.bernoulli(0.5) ? amplitude : -amplitude;
+  }
+}
+
+void FaultInjector::add_burst_noise(std::vector<double>& trace, std::size_t count,
+                                    std::size_t length, double sigma,
+                                    num::Xoshiro256StarStar& rng) {
+  if (count == 0 || length == 0 || sigma <= 0.0 || trace.empty()) return;
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::size_t start = rng.uniform_below(trace.size());
+    const std::size_t end = std::min(trace.size(), start + length);
+    for (std::size_t i = start; i < end; ++i) trace[i] += rng.gaussian(0.0, sigma);
+  }
+}
+
+void FaultInjector::add_drift(std::vector<double>& trace, double sigma,
+                              num::Xoshiro256StarStar& rng) {
+  if (sigma <= 0.0) return;
+  double walk = 0.0;
+  for (double& v : trace) {
+    walk += rng.gaussian(0.0, sigma);
+    v += walk;
+  }
+}
+
+void FaultInjector::clip_samples(std::vector<double>& trace, double lo, double hi) {
+  if (!(hi > lo)) throw std::invalid_argument("FaultInjector: empty clip range");
+  for (double& v : trace) v = std::clamp(v, lo, hi);
+}
+
+std::vector<double> FaultInjector::apply(std::vector<double> trace,
+                                         std::uint64_t capture_seed) const {
+  if (!spec_.any()) return trace;
+  // One stream per capture; stage order is fixed so a spec + seed pair
+  // always produces the same corruption.
+  std::uint64_t mix = spec_.seed;
+  mix ^= capture_seed + 0x9E3779B97F4A7C15ULL + (mix << 6) + (mix >> 2);
+  num::Xoshiro256StarStar rng(mix);
+  if (spec_.jitter_sigma > 0.0) trace = time_warp(trace, spec_.jitter_sigma, rng);
+  drop_samples(trace, spec_.dropout_rate, rng);
+  if (spec_.trigger_misalign > 0)
+    trace = misalign_trigger(trace, spec_.trigger_misalign, rng);
+  add_glitches(trace, spec_.glitch_count, spec_.glitch_amplitude, rng);
+  add_burst_noise(trace, spec_.burst_count, spec_.burst_length, spec_.burst_sigma, rng);
+  add_drift(trace, spec_.drift_sigma, rng);
+  if (spec_.clip) clip_samples(trace, spec_.clip_lo, spec_.clip_hi);
+  return trace;
+}
+
+}  // namespace reveal::power

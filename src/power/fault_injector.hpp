@@ -1,0 +1,108 @@
+#pragma once
+// Acquisition fault-injection harness.
+//
+// The paper's 100% single-trace numbers assume clean, well-triggered
+// captures. Real scope campaigns are messier: the sampling clock jitters
+// against the core clock, ADC conversions drop out or clip at the rails,
+// EM pickup injects glitches and burst noise, the supply wanders, and the
+// trigger fires early or late. The FaultInjector reproduces those
+// degradations as a composable post-processing stage applied to the raw
+// per-cycle trace (between the leakage model and the analysis pipeline).
+// Every fault stream is derived deterministically from (spec.seed,
+// capture_seed), so a degraded campaign is exactly reproducible.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "numeric/rng.hpp"
+
+namespace reveal::power {
+
+/// Which faults to inject, and how hard. All defaults are "off": a default
+/// FaultSpec leaves traces untouched (bit-identical pass-through).
+struct FaultSpec {
+  /// Sampling-clock jitter: the effective sample period is 1 + N(0, sigma)
+  /// core cycles; the trace is re-sampled along the warped time axis
+  /// (linear interpolation), so window positions drift within a trace.
+  double jitter_sigma = 0.0;
+
+  /// Per-sample dropout probability: a dropped ADC conversion repeats the
+  /// previous value (sample-and-hold), destroying amplitude information
+  /// without shifting time.
+  double dropout_rate = 0.0;
+
+  /// Isolated amplitude glitches: this many random samples get a +/-
+  /// `glitch_amplitude` spike (sign random per glitch).
+  std::size_t glitch_count = 0;
+  double glitch_amplitude = 25.0;
+
+  /// Burst noise: this many windows of `burst_length` samples receive
+  /// additive Gaussian noise of std `burst_sigma` (EM pickup, comms
+  /// interference).
+  std::size_t burst_count = 0;
+  std::size_t burst_length = 48;
+  double burst_sigma = 1.5;
+
+  /// Baseline drift: a per-sample random walk of step std `drift_sigma`
+  /// rides on the whole trace (supply/temperature wander at the scope).
+  double drift_sigma = 0.0;
+
+  /// ADC rail clipping: clamp every sample to [clip_lo, clip_hi].
+  bool clip = false;
+  double clip_lo = 0.0;
+  double clip_hi = 16.0;
+
+  /// Trigger misalignment: the capture starts up to this many samples
+  /// early (floor-level padding is prepended) or late (head truncated);
+  /// the shift is uniform in [-trigger_misalign, +trigger_misalign].
+  std::size_t trigger_misalign = 0;
+
+  /// Base seed of the fault streams (combined with the capture seed).
+  std::uint64_t seed = 0xFA017;
+
+  /// True if any fault is active.
+  [[nodiscard]] bool any() const noexcept;
+
+  /// Heuristic scalar severity for reports/sweeps (0 = clean). Not used by
+  /// the injector itself.
+  [[nodiscard]] double severity() const noexcept;
+};
+
+/// Applies a FaultSpec to traces. Stateless across captures: the fault
+/// randomness for one capture depends only on (spec.seed, capture_seed).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec) : spec_(spec) {}
+
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+
+  /// Applies every enabled fault, in acquisition order (time warp, dropout,
+  /// trigger misalignment, glitches, burst noise, drift, clipping). A
+  /// disabled spec returns the input bit-identically.
+  [[nodiscard]] std::vector<double> apply(std::vector<double> trace,
+                                          std::uint64_t capture_seed) const;
+
+  // Individual stages, exposed for unit tests. Each draws from `rng`.
+  [[nodiscard]] static std::vector<double> time_warp(const std::vector<double>& trace,
+                                                     double jitter_sigma,
+                                                     num::Xoshiro256StarStar& rng);
+  static void drop_samples(std::vector<double>& trace, double rate,
+                           num::Xoshiro256StarStar& rng);
+  [[nodiscard]] static std::vector<double> misalign_trigger(const std::vector<double>& trace,
+                                                            std::size_t max_shift,
+                                                            num::Xoshiro256StarStar& rng);
+  static void add_glitches(std::vector<double>& trace, std::size_t count, double amplitude,
+                           num::Xoshiro256StarStar& rng);
+  static void add_burst_noise(std::vector<double>& trace, std::size_t count,
+                              std::size_t length, double sigma,
+                              num::Xoshiro256StarStar& rng);
+  static void add_drift(std::vector<double>& trace, double sigma,
+                        num::Xoshiro256StarStar& rng);
+  static void clip_samples(std::vector<double>& trace, double lo, double hi);
+
+ private:
+  FaultSpec spec_;
+};
+
+}  // namespace reveal::power

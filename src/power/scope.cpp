@@ -39,13 +39,16 @@ std::vector<double> acquire(const std::vector<double>& raw, const ScopeParams& p
 
   // ADC quantization.
   if (params.quantize_8bit) {
-    const double span = params.range_hi - params.range_lo;
-    for (double& v : out) {
-      const double t = std::clamp((v - params.range_lo) / span, 0.0, 1.0);
-      v = params.range_lo + std::round(t * 255.0) / 255.0 * span;
-    }
+    for (double& v : out) v = quantize_8bit_sample(v, params.range_lo, params.range_hi);
   }
   return out;
+}
+
+double quantize_8bit_sample(double v, double lo, double hi) {
+  if (!(hi > lo)) throw std::invalid_argument("quantize_8bit_sample: empty range");
+  const double clipped = std::clamp(v, lo, hi);  // rail clipping before conversion
+  const double span = hi - lo;
+  return lo + std::round((clipped - lo) / span * 255.0) / 255.0 * span;
 }
 
 }  // namespace reveal::power

@@ -30,4 +30,9 @@ struct ScopeParams {
 [[nodiscard]] std::vector<double> acquire(const std::vector<double>& raw,
                                           const ScopeParams& params);
 
+/// One 8-bit ADC conversion: the input is clamped to [lo, hi] first (a real
+/// scope clips at the rails instead of wrapping codes) and then snapped to
+/// the nearest of the 256 code levels spanning the range. Requires hi > lo.
+[[nodiscard]] double quantize_8bit_sample(double v, double lo, double hi);
+
 }  // namespace reveal::power

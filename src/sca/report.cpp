@@ -68,4 +68,30 @@ std::string ConfusionMatrix::to_table(std::int32_t row_lo, std::int32_t row_hi,
   return os.str();
 }
 
+const char* to_string(SegmentationStatus status) {
+  switch (status) {
+    case SegmentationStatus::kOk: return "ok";
+    case SegmentationStatus::kRecovered: return "recovered";
+    case SegmentationStatus::kDegraded: return "degraded";
+    case SegmentationStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::string RecoveryReport::to_string() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << "segmentation: " << reveal::sca::to_string(segmentation_status) << " ("
+     << recovered_windows << "/" << expected_windows << " windows, "
+     << segmentation_attempts << " attempt" << (segmentation_attempts == 1 ? "" : "s")
+     << ", burst consistency " << burst_consistency << ")\n";
+  os << "guesses:      " << ok_guesses << " ok, " << low_confidence_guesses
+     << " low-confidence, " << abstained_guesses << " abstained\n";
+  os << "hints:        " << perfect_hints << " perfect, " << approximate_hints
+     << " approximate, " << sign_only_hints << " sign-only, " << dropped_hints
+     << " dropped\n";
+  os << "residual:     " << bikz << " bikz (" << bits << " bits)";
+  return os.str();
+}
+
 }  // namespace reveal::sca

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "sca/segmentation.hpp"
+
 namespace reveal::sca {
 
 /// Confusion counts between true values (columns in the paper's Table I)
@@ -41,6 +43,38 @@ class ConfusionMatrix {
   std::map<std::int32_t, std::size_t> truth_totals_;
   std::map<std::int32_t, std::size_t> pred_totals_;
   std::size_t total_ = 0;
+};
+
+/// Human-readable name of a segmentation status.
+[[nodiscard]] const char* to_string(SegmentationStatus status);
+
+/// Summary of a degradation-aware recovery run: how much information each
+/// pipeline stage lost (segmentation -> classification -> hint routing) and
+/// what residual attack cost (bikz/bits) the surviving hints imply.
+struct RecoveryReport {
+  // Segmentation stage.
+  std::size_t expected_windows = 0;
+  std::size_t recovered_windows = 0;
+  SegmentationStatus segmentation_status = SegmentationStatus::kFailed;
+  std::size_t segmentation_attempts = 0;
+  double burst_consistency = 0.0;
+
+  // Classification stage (guess-quality mix).
+  std::size_t ok_guesses = 0;
+  std::size_t low_confidence_guesses = 0;
+  std::size_t abstained_guesses = 0;
+
+  // Hint-routing stage.
+  std::size_t perfect_hints = 0;
+  std::size_t approximate_hints = 0;
+  std::size_t sign_only_hints = 0;
+  std::size_t dropped_hints = 0;
+
+  // Residual security of the hinted instance.
+  double bikz = 0.0;
+  double bits = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
 };
 
 }  // namespace reveal::sca

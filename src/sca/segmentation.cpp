@@ -1,6 +1,8 @@
 #include "sca/segmentation.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace reveal::sca {
@@ -24,6 +26,11 @@ double auto_threshold(const std::vector<double>& samples) {
   std::sort(sorted.begin(), sorted.end());
   const double lo = sorted[sorted.size() * 20 / 100];
   const double hi = sorted[std::min(sorted.size() - 1, sorted.size() * 95 / 100)];
+  // Flat / near-constant trace: the percentile midpoint would sit inside
+  // the numerical-noise band and turn the whole trace into one bogus
+  // burst. Signal "no separable burst level" instead.
+  if (hi - lo < 1e-9 * std::max(1.0, std::abs(hi)))
+    return std::numeric_limits<double>::infinity();
   return 0.5 * (lo + hi);
 }
 
@@ -62,6 +69,143 @@ std::vector<Segment> segment_trace(const std::vector<double>& samples,
     segments.push_back(seg);
   }
   return segments;
+}
+
+double burst_length_consistency(const std::vector<Segment>& segments) {
+  if (segments.size() < 2) return segments.empty() ? 0.0 : 1.0;
+  double mean = 0.0;
+  for (const Segment& s : segments)
+    mean += static_cast<double>(s.burst_end - s.burst_begin);
+  mean /= static_cast<double>(segments.size());
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (const Segment& s : segments) {
+    const double d = static_cast<double>(s.burst_end - s.burst_begin) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(segments.size());
+  return std::clamp(1.0 - std::sqrt(var) / mean, 0.0, 1.0);
+}
+
+namespace {
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  return v[mid];
+}
+
+}  // namespace
+
+std::vector<double> score_windows(const std::vector<Segment>& segments) {
+  std::vector<double> quality(segments.size(), 1.0);
+  if (segments.empty()) return quality;
+  std::vector<double> burst_lens, window_lens;
+  burst_lens.reserve(segments.size());
+  window_lens.reserve(segments.size());
+  for (const Segment& s : segments) {
+    burst_lens.push_back(static_cast<double>(s.burst_end - s.burst_begin));
+    window_lens.push_back(static_cast<double>(s.window_end - s.window_begin));
+  }
+  const double burst_med = std::max(1.0, median_of(burst_lens));
+  const double window_med = std::max(1.0, median_of(window_lens));
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    // Genuine distribution-call bursts share the multiplier's length;
+    // glitch-split or merged segments deviate strongly from the median.
+    const double q_burst = std::exp(-std::abs(burst_lens[i] - burst_med) / burst_med);
+    // Windows vary legitimately (time-variant rejection loop), so only
+    // windows much shorter than typical are suspect.
+    const double q_window = std::clamp(window_lens[i] / (0.5 * window_med), 0.0, 1.0);
+    quality[i] = std::min(q_burst, q_window);
+  }
+  return quality;
+}
+
+SegmentationResult segment_trace_robust(const std::vector<double>& samples,
+                                        std::size_t expected_windows,
+                                        const SegmentationConfig& base,
+                                        double degraded_consistency) {
+  SegmentationResult result;
+  if (samples.empty() || expected_windows == 0) return result;
+
+  auto finish = [&](std::vector<Segment> segments, const SegmentationConfig& cfg,
+                    SegmentationStatus status) {
+    result.segments = std::move(segments);
+    result.config = cfg;
+    result.burst_consistency = burst_length_consistency(result.segments);
+    if (status != SegmentationStatus::kFailed &&
+        result.burst_consistency < degraded_consistency)
+      status = SegmentationStatus::kDegraded;
+    result.status = status;
+    result.window_quality = score_windows(result.segments);
+    return result;
+  };
+
+  // Pass 1: the caller's config, untouched — when the capture is clean this
+  // reproduces segment_trace bit-for-bit.
+  std::vector<Segment> first = segment_trace(samples, base);
+  ++result.attempts;
+  if (first.size() == expected_windows)
+    return finish(std::move(first), base, SegmentationStatus::kOk);
+
+  // Pass 2: adaptive sweep. Threshold scaling reconnects bursts split by
+  // dropout (lower) or suppresses glitch bursts (higher); wider smoothing
+  // bridges jitter-torn bursts; shorter min-burst recovers time-warped
+  // (compressed) bursts.
+  const double base_threshold =
+      base.threshold > 0.0 ? base.threshold
+                           : auto_threshold(smooth(samples, base.smooth_window));
+  const double threshold_scales[] = {1.0, 0.85, 1.15, 0.7, 1.3};
+  const std::size_t smooth_windows[] = {
+      base.smooth_window, base.smooth_window + 2,
+      base.smooth_window > 2 ? base.smooth_window - 2 : 1,
+      2 * base.smooth_window + 1};
+  const std::size_t min_bursts[] = {base.min_burst_length,
+                                    std::max<std::size_t>(4, 3 * base.min_burst_length / 4),
+                                    std::max<std::size_t>(4, base.min_burst_length / 2)};
+
+  std::vector<Segment> best = std::move(first);
+  SegmentationConfig best_cfg = base;
+  bool best_match = false;
+  double best_consistency = burst_length_consistency(best);
+  auto count_err = [&](const std::vector<Segment>& segs) {
+    return segs.size() > expected_windows ? segs.size() - expected_windows
+                                          : expected_windows - segs.size();
+  };
+  std::size_t best_err = count_err(best);
+
+  for (const std::size_t sw : smooth_windows) {
+    for (const double scale : threshold_scales) {
+      for (const std::size_t mb : min_bursts) {
+        SegmentationConfig cfg = base;
+        cfg.smooth_window = sw;
+        cfg.threshold = std::isfinite(base_threshold) ? base_threshold * scale : 0.0;
+        cfg.min_burst_length = mb;
+        if (sw == base.smooth_window && scale == 1.0 && mb == base.min_burst_length)
+          continue;  // already tried as pass 1 (modulo auto-threshold pinning)
+        std::vector<Segment> candidate = segment_trace(samples, cfg);
+        ++result.attempts;
+        const std::size_t err = count_err(candidate);
+        const double consistency = burst_length_consistency(candidate);
+        const bool match = err == 0;
+        const bool better = match != best_match
+                                ? match
+                                : (err != best_err ? err < best_err
+                                                   : consistency > best_consistency);
+        if (better) {
+          best = std::move(candidate);
+          best_cfg = cfg;
+          best_match = match;
+          best_err = err;
+          best_consistency = consistency;
+        }
+      }
+    }
+  }
+
+  return finish(std::move(best), best_cfg,
+                best_match ? SegmentationStatus::kRecovered : SegmentationStatus::kFailed);
 }
 
 }  // namespace reveal::sca

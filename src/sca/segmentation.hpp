@@ -41,6 +41,53 @@ struct Segment {
                                          std::size_t window);
 
 /// Midpoint between the 20th and 95th percentile — the automatic threshold.
+/// Degenerate (flat or near-constant) traces have no burst/floor separation
+/// to threshold between; they return +infinity as a sentinel, which makes
+/// segment_trace find no bursts instead of one bogus whole-trace burst.
 [[nodiscard]] double auto_threshold(const std::vector<double>& samples);
+
+// ---------------------------------------------------------------------------
+// Robust segmentation: degraded captures (jitter, dropout, glitches,
+// clipping, misalignment) make a single fixed-config pass either miss
+// windows or invent spurious ones. segment_trace_robust validates the
+// window count the caller expects and, on mismatch, retries across an
+// adaptive sweep of {threshold, smooth_window, min_burst_length},
+// scoring candidates by burst-length consistency (the distribution-call
+// burst is a fixed-length multiply, so genuine bursts are near-identical
+// in length while glitch-induced ones are not).
+
+enum class SegmentationStatus {
+  kOk,         ///< base config matched the expected window count
+  kRecovered,  ///< a retry config matched the expected window count
+  kDegraded,   ///< count matches but burst consistency is poor: windows suspect
+  kFailed,     ///< no candidate reached the expected count (best effort returned)
+};
+
+struct SegmentationResult {
+  SegmentationStatus status = SegmentationStatus::kFailed;
+  std::vector<Segment> segments;      ///< best segmentation found
+  std::vector<double> window_quality; ///< per-segment score in [0,1], aligned
+  SegmentationConfig config;          ///< the config that produced `segments`
+  std::size_t attempts = 0;           ///< segment_trace invocations performed
+  double burst_consistency = 0.0;     ///< 1 - cv(burst lengths), clamped to [0,1]
+};
+
+/// Burst-length consistency of a segmentation: 1 - coefficient of variation
+/// of the burst lengths, clamped to [0,1] (1 = identical bursts; 0 = wild).
+[[nodiscard]] double burst_length_consistency(const std::vector<Segment>& segments);
+
+/// Per-segment quality scores in [0,1]: penalizes bursts whose length
+/// deviates from the median burst and windows much shorter than the median
+/// window (both symptoms of glitch-split or merged segments).
+[[nodiscard]] std::vector<double> score_windows(const std::vector<Segment>& segments);
+
+/// Segments `samples` expecting exactly `expected_windows` windows. Tries
+/// `base` first (bit-identical to segment_trace when it already yields the
+/// expected count), then sweeps threshold/smooth/min-burst variations.
+/// Never throws on bad data: a hopeless trace comes back as kFailed with
+/// the closest candidate attached for diagnostics.
+[[nodiscard]] SegmentationResult segment_trace_robust(
+    const std::vector<double>& samples, std::size_t expected_windows,
+    const SegmentationConfig& base = {}, double degraded_consistency = 0.75);
 
 }  // namespace reveal::sca

@@ -41,6 +41,25 @@ std::vector<double> TemplateSet::log_scores(const std::vector<double>& observati
   return scores;
 }
 
+std::vector<double> TemplateSet::mahalanobis(const std::vector<double>& observation) const {
+  if (observation.size() != dim_)
+    throw std::invalid_argument("TemplateSet::mahalanobis: dimension mismatch");
+  std::vector<double> out;
+  out.reserve(classes_.size());
+  std::vector<double> diff(dim_);
+  for (const auto& c : classes_) {
+    for (std::size_t i = 0; i < dim_; ++i) diff[i] = observation[i] - c.mean[i];
+    double maha = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      double row = 0.0;
+      for (std::size_t j = 0; j < dim_; ++j) row += inv_covariance_(i, j) * diff[j];
+      maha += diff[i] * row;
+    }
+    out.push_back(maha);
+  }
+  return out;
+}
+
 std::vector<double> TemplateSet::posterior(const std::vector<double>& observation) const {
   return num::log_scores_to_posterior(log_scores(observation));
 }

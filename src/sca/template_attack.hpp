@@ -37,6 +37,14 @@ class TemplateSet {
   /// as classes()).
   [[nodiscard]] std::vector<double> log_scores(const std::vector<double>& observation) const;
 
+  /// Squared Mahalanobis distance of `observation` to each class mean under
+  /// the pooled covariance (same order as classes()). Unlike the posterior —
+  /// which only compares classes against each other — the absolute distance
+  /// is a goodness-of-fit statistic: an observation far from *every*
+  /// template (misaligned or corrupted window) is an outlier even when the
+  /// posterior looks confident.
+  [[nodiscard]] std::vector<double> mahalanobis(const std::vector<double>& observation) const;
+
   /// Posterior probabilities (uniform prior) aligned with classes().
   [[nodiscard]] std::vector<double> posterior(const std::vector<double>& observation) const;
 

@@ -44,6 +44,7 @@ TraceSet TraceSet::load(const std::string& path) {
     throw std::runtime_error("TraceSet::load: bad magic in " + path);
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) throw std::runtime_error("TraceSet::load: truncated file " + path);
   TraceSet set;
   for (std::uint64_t i = 0; i < count; ++i) {
     Trace t;

@@ -198,6 +198,41 @@ TEST_F(AttackPipeline, HintsCollapseEstimatedSecurity) {
   EXPECT_GT(signs, hinted);
 }
 
+TEST_F(AttackPipeline, RobustPathMatchesSeedPipelineBitIdentically) {
+  // Acceptance criterion of the robustness layer: with no faults injected
+  // and the default (gates-off) AttackConfig, the degradation-aware entry
+  // point must reproduce the seed pipeline exactly — same segmentation on
+  // the first attempt and field-identical guesses, not merely "close".
+  for (std::uint64_t seed = 2000; seed < 2008; ++seed) {
+    const FullCapture cap = campaign_->capture(seed);
+    ASSERT_EQ(cap.segments.size(), 64u);
+    const auto seed_guesses = attack_->attack_capture(cap);
+
+    const RobustCaptureResult robust = attack_->attack_capture_robust(
+        cap.trace, 64, campaign_->config().segmentation);
+    EXPECT_EQ(robust.segmentation.status, sca::SegmentationStatus::kOk);
+    EXPECT_EQ(robust.segmentation.attempts, 1u);
+    ASSERT_EQ(robust.segmentation.segments.size(), cap.segments.size());
+    for (std::size_t i = 0; i < cap.segments.size(); ++i) {
+      EXPECT_EQ(robust.segmentation.segments[i].window_begin,
+                cap.segments[i].window_begin);
+      EXPECT_EQ(robust.segmentation.segments[i].window_end, cap.segments[i].window_end);
+    }
+
+    ASSERT_EQ(robust.guesses.size(), seed_guesses.size());
+    for (std::size_t i = 0; i < seed_guesses.size(); ++i) {
+      const auto& a = seed_guesses[i];
+      const auto& b = robust.guesses[i];
+      EXPECT_EQ(a.sign, b.sign);
+      EXPECT_EQ(a.value, b.value);
+      EXPECT_EQ(a.support, b.support);
+      EXPECT_EQ(a.posterior, b.posterior);  // bit-identical doubles
+      EXPECT_EQ(b.quality, GuessQuality::kOk);
+      EXPECT_TRUE(b.sign_trusted);
+    }
+  }
+}
+
 TEST(EndToEnd, SingleTraceMessageRecovery) {
   // Tie a capture to a real BFV encryption: the victim-sampled noise is e2,
   // then the attack must recover the plaintext from (trace, pk, ct) alone

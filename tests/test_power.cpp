@@ -170,6 +170,33 @@ TEST(Scope, Quantization8Bit) {
   EXPECT_NEAR(out[3], 0.0, 1e-9);    // clipped low
 }
 
+TEST(Scope, QuantizeSampleClampsAtBothRails) {
+  // Out-of-range inputs must clip to the rails — including with a
+  // negative range floor — never wrap or extrapolate codes.
+  EXPECT_NEAR(power::quantize_8bit_sample(-100.0, -2.0, 2.0), -2.0, 1e-12);
+  EXPECT_NEAR(power::quantize_8bit_sample(100.0, -2.0, 2.0), 2.0, 1e-12);
+  EXPECT_NEAR(power::quantize_8bit_sample(-2.0, -2.0, 2.0), -2.0, 1e-12);
+  EXPECT_NEAR(power::quantize_8bit_sample(2.0, -2.0, 2.0), 2.0, 1e-12);
+  // In-range values snap to the nearest of 256 codes (half-code error max).
+  const double half_code = 0.5 * 4.0 / 255.0;
+  EXPECT_NEAR(power::quantize_8bit_sample(0.3, -2.0, 2.0), 0.3, half_code + 1e-12);
+  EXPECT_THROW((void)power::quantize_8bit_sample(0.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Scope, QuantizationClampsNegativeRangeInAcquire) {
+  power::ScopeParams sp;
+  sp.quantize_8bit = true;
+  sp.range_lo = -2.0;
+  sp.range_hi = 2.0;
+  const auto out = power::acquire({-3.0, -2.0, 0.0, 2.0, 3.0}, sp);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_NEAR(out[0], -2.0, 1e-12);  // clipped low rail
+  EXPECT_NEAR(out[1], -2.0, 1e-12);
+  EXPECT_NEAR(out[2], 0.0, 0.5 * 4.0 / 255.0 + 1e-12);
+  EXPECT_NEAR(out[3], 2.0, 1e-12);
+  EXPECT_NEAR(out[4], 2.0, 1e-12);  // clipped high rail
+}
+
 TEST(Scope, RejectsBadParams) {
   power::ScopeParams sp;
   sp.decimation = 0;

@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 
 #include "numeric/rng.hpp"
 #include "sca/classifier.hpp"
@@ -48,6 +51,53 @@ TEST(TraceSet, LoadRejectsGarbage) {
   EXPECT_THROW(TraceSet::load(path), std::runtime_error);
   std::remove(path.c_str());
   EXPECT_THROW(TraceSet::load("/nonexistent/nope.bin"), std::runtime_error);
+}
+
+TEST(TraceSet, LoadRejectsTruncatedFiles) {
+  // A valid two-trace file cut off at various byte offsets must always
+  // throw — never silently yield a shorter/empty set.
+  TraceSet set;
+  set.add({{1.0, 2.0, 3.0}, 4});
+  set.add({{4.0, 5.0}, -1});
+  const std::string path = std::filesystem::temp_directory_path() / "reveal_trunc.bin";
+  set.save(path);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 20u);
+  // magic only; mid trace-count; mid first header; mid samples; last byte gone.
+  for (const std::size_t cut : {std::size_t{4}, std::size_t{8}, std::size_t{14},
+                                std::size_t{30}, bytes.size() - 1}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_THROW(TraceSet::load(path), std::runtime_error) << "cut=" << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceSet, LoadRejectsLyingTraceCount) {
+  // Header claims three traces but the file holds one: the missing traces
+  // must be reported as truncation, not returned as a short set.
+  TraceSet set;
+  set.add({{1.0}, 0});
+  const std::string path = std::filesystem::temp_directory_path() / "reveal_lying.bin";
+  set.save(path);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  const std::uint64_t lying_count = 3;
+  std::memcpy(bytes.data() + 4, &lying_count, sizeof(lying_count));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(TraceSet::load(path), std::runtime_error);
+  std::remove(path.c_str());
 }
 
 TEST(TraceOps, Normalize) {
@@ -122,6 +172,135 @@ TEST(Segmentation, AutoThresholdSeparatesBimodal) {
   const double th = auto_threshold(trace);
   EXPECT_GT(th, 1.5);
   EXPECT_LT(th, 9.5);
+}
+
+TEST(Segmentation, FlatTraceHasNoThresholdAndNoBursts) {
+  // Degenerate input: no burst/floor separation exists. auto_threshold
+  // signals that with +infinity and segmentation finds nothing.
+  const std::vector<double> flat(500, 3.0);
+  EXPECT_TRUE(std::isinf(auto_threshold(flat)));
+  SegmentationConfig cfg;
+  cfg.threshold = 0.0;  // automatic
+  EXPECT_TRUE(segment_trace(flat, cfg).empty());
+}
+
+TEST(Segmentation, NearConstantTraceYieldsNoBogusBurst) {
+  // Regression: with the 20th/95th-percentile midpoint collapsed into the
+  // numerical-noise band, half of a near-constant trace used to come back
+  // as one giant bogus burst.
+  std::vector<double> trace(500, 3.0);
+  for (std::size_t i = 250; i < trace.size(); ++i) trace[i] += 1e-12;
+  SegmentationConfig cfg;
+  cfg.threshold = 0.0;
+  cfg.smooth_window = 1;
+  cfg.min_burst_length = 16;
+  EXPECT_TRUE(segment_trace(trace, cfg).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Robust (retrying) segmentation.
+
+namespace {
+
+// Three 30-sample level-10 bursts over a level-1 floor (the shape of the
+// existing FindsBurstsInSyntheticTrace test).
+std::vector<double> three_burst_trace() {
+  std::vector<double> trace(400, 1.0);
+  for (const std::size_t s : {50u, 170u, 300u}) {
+    for (std::size_t i = s; i < s + 30; ++i) trace[i] = 10.0;
+  }
+  return trace;
+}
+
+SegmentationConfig three_burst_config() {
+  SegmentationConfig cfg;
+  cfg.smooth_window = 3;
+  cfg.threshold = 5.0;
+  cfg.min_burst_length = 16;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(RobustSegmentation, CleanTraceMatchesBaseConfigExactly) {
+  const auto trace = three_burst_trace();
+  const auto cfg = three_burst_config();
+  const auto plain = segment_trace(trace, cfg);
+  const SegmentationResult result = segment_trace_robust(trace, 3, cfg);
+  EXPECT_EQ(result.status, SegmentationStatus::kOk);
+  EXPECT_EQ(result.attempts, 1u);
+  ASSERT_EQ(result.segments.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(result.segments[i].burst_begin, plain[i].burst_begin);
+    EXPECT_EQ(result.segments[i].burst_end, plain[i].burst_end);
+    EXPECT_EQ(result.segments[i].window_begin, plain[i].window_begin);
+    EXPECT_EQ(result.segments[i].window_end, plain[i].window_end);
+  }
+  EXPECT_GT(result.burst_consistency, 0.9);
+  ASSERT_EQ(result.window_quality.size(), 3u);
+  for (const double q : result.window_quality) EXPECT_GT(q, 0.7);
+}
+
+TEST(RobustSegmentation, RecoversFromSpuriousBurst) {
+  // A level-6 interference burst sits above the base threshold (5.0) and
+  // splits window 1: the base config sees 4 bursts. The retry sweep's
+  // higher threshold suppresses it and recovers the expected 3 windows.
+  auto trace = three_burst_trace();
+  for (std::size_t i = 100; i < 120; ++i) trace[i] = 6.0;
+  const auto cfg = three_burst_config();
+  ASSERT_EQ(segment_trace(trace, cfg).size(), 4u);  // the failure mode
+  const SegmentationResult result = segment_trace_robust(trace, 3, cfg);
+  EXPECT_EQ(result.status, SegmentationStatus::kRecovered);
+  ASSERT_EQ(result.segments.size(), 3u);
+  EXPECT_GT(result.attempts, 1u);
+  // The recovered bursts are the genuine ones.
+  EXPECT_NEAR(static_cast<double>(result.segments[0].burst_begin), 50.0, 4.0);
+  EXPECT_NEAR(static_cast<double>(result.segments[1].burst_begin), 170.0, 4.0);
+  EXPECT_NEAR(static_cast<double>(result.segments[2].burst_begin), 300.0, 4.0);
+}
+
+TEST(RobustSegmentation, FailsGracefullyOnHopelessTrace) {
+  const std::vector<double> flat(300, 2.0);
+  const SegmentationResult result = segment_trace_robust(flat, 5, three_burst_config());
+  EXPECT_EQ(result.status, SegmentationStatus::kFailed);
+  EXPECT_EQ(result.window_quality.size(), result.segments.size());
+  EXPECT_TRUE(segment_trace_robust({}, 5, three_burst_config()).segments.empty());
+  EXPECT_EQ(segment_trace_robust(flat, 0, three_burst_config()).status,
+            SegmentationStatus::kFailed);
+}
+
+TEST(RobustSegmentation, InconsistentBurstLengthsFlaggedDegraded) {
+  // Three genuine bursts plus one over-long (merged-looking) burst: count
+  // can be made to match 4, but the length spread must downgrade trust.
+  std::vector<double> trace(500, 1.0);
+  for (const std::size_t s : {40u, 130u, 220u}) {
+    for (std::size_t i = s; i < s + 30; ++i) trace[i] = 10.0;
+  }
+  for (std::size_t i = 310; i < 430; ++i) trace[i] = 10.0;  // 120-sample blob
+  const SegmentationResult result = segment_trace_robust(trace, 4, three_burst_config());
+  ASSERT_EQ(result.segments.size(), 4u);
+  EXPECT_EQ(result.status, SegmentationStatus::kDegraded);
+  EXPECT_LT(result.burst_consistency, 0.75);
+  // The blob's quality is the worst of the four.
+  ASSERT_EQ(result.window_quality.size(), 4u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_GT(result.window_quality[i], result.window_quality[3]);
+}
+
+TEST(RobustSegmentation, BurstConsistencyScore) {
+  std::vector<Segment> same(3);
+  for (auto& s : same) {
+    s.burst_begin = 0;
+    s.burst_end = 30;
+  }
+  EXPECT_NEAR(burst_length_consistency(same), 1.0, 1e-12);
+  EXPECT_EQ(burst_length_consistency({}), 0.0);
+  std::vector<Segment> wild(2);
+  wild[0].burst_begin = 0;
+  wild[0].burst_end = 10;
+  wild[1].burst_begin = 20;
+  wild[1].burst_end = 120;
+  EXPECT_LT(burst_length_consistency(wild), 0.5);
 }
 
 TEST(Poi, ClassMeansAndSosd) {
