@@ -21,6 +21,7 @@
 #include "bench_common.hpp"
 #include "core/attack.hpp"
 #include "core/hints.hpp"
+#include "core/parallel.hpp"
 #include "lwe/dbdd.hpp"
 #include "power/fault_injector.hpp"
 #include "sca/report.hpp"
@@ -97,6 +98,68 @@ struct LevelResult {
   double bits = 0.0;
 };
 
+// One severity leg: its own campaign and estimator, captures attacked in
+// seed order. Self-contained (no shared mutable state), so the legs can run
+// on worker-pool threads with results landing in per-level slots — the
+// numbers are identical to the sequential sweep for any worker count.
+LevelResult run_level(const RevealAttack& attack, const CampaignConfig& clean,
+                      const Level& level, std::size_t captures_per_level,
+                      const lwe::DbddParams& params, const HintPolicy& policy) {
+  CampaignConfig cfg = clean;
+  cfg.faults = level.faults;
+  SamplerCampaign campaign(cfg);
+
+  LevelResult r;
+  r.name = level.name;
+  r.severity = level.faults.severity();
+  lwe::DbddEstimator estimator(params);
+  // Fixed coefficient budget: every level attacks the same firmware runs
+  // (seeds), so differences come from the faults alone. A capture whose
+  // segmentation fails outright consumes its hint slots with no hints.
+  for (std::size_t k = 0; k < captures_per_level; ++k) {
+    const FullCapture cap = campaign.capture(40000 + k);
+    const RobustCaptureResult res =
+        attack.attack_capture_robust(cap.trace, cfg.n, cfg.segmentation);
+    ++r.captures;
+    r.expected_total += cfg.n;
+    r.recovered_windows += res.segmentation.segments.size();
+    if (res.segmentation.status == sca::SegmentationStatus::kFailed) {
+      r.dropped_hints += cfg.n;
+      continue;
+    }
+    const HintSummary hints = integrate_guess_hints(estimator, res.guesses, policy);
+    r.perfect_hints += hints.perfect;
+    r.approximate_hints += hints.approximate;
+    r.sign_only_hints += hints.sign_only;
+    r.dropped_hints += hints.skipped + (cfg.n - res.guesses.size());
+    for (const auto& g : res.guesses) {
+      switch (g.quality) {
+        case GuessQuality::kOk: ++r.ok_guesses; break;
+        case GuessQuality::kLowConfidence: ++r.low_confidence_guesses; break;
+        case GuessQuality::kAbstained: ++r.abstained_guesses; break;
+      }
+    }
+    // Ground-truth scoring needs window <-> coefficient alignment, which
+    // only holds when the expected count was recovered.
+    if (res.guesses.size() == cap.noise.size()) {
+      for (std::size_t i = 0; i < res.guesses.size(); ++i) {
+        const auto& g = res.guesses[i];
+        const int truth_sign = cap.noise[i] > 0 ? 1 : (cap.noise[i] < 0 ? -1 : 0);
+        ++r.aligned_windows;
+        r.sign_correct += (g.sign == truth_sign);
+        r.value_correct += (g.value == cap.noise[i]);
+        if (routes_as_perfect(g, policy) && g.value != cap.noise[i])
+          ++r.wrong_perfect_hints;
+      }
+      ++r.segmentation_ok;
+    }
+  }
+  const lwe::SecurityEstimate est = estimator.estimate();
+  r.bikz = est.beta;
+  r.bits = est.bits;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,63 +198,20 @@ int main(int argc, char** argv) {
   const double baseline = lwe::estimate_lwe_security(params).beta;
   std::printf("baseline (no hints): %.1f bikz\n", baseline);
 
+  // The severity legs are independent experiments; fan them out over the
+  // worker pool with each result landing in its level's slot. Output is
+  // buffered per level and printed afterwards in severity order.
   const HintPolicy policy;
-  std::vector<LevelResult> results;
-  for (const Level& level : severity_levels()) {
-    CampaignConfig cfg = clean;
-    cfg.faults = level.faults;
-    SamplerCampaign campaign(cfg);
+  const std::vector<Level> levels = severity_levels();
+  const long workers_flag = bench::flag_value(argc, argv, "--workers", -1);
+  WorkerPool pool(workers_flag < 0 ? default_num_workers()
+                                   : static_cast<std::size_t>(workers_flag));
+  std::vector<LevelResult> results(levels.size());
+  pool.run_indexed(levels.size(), [&](std::size_t i, std::size_t) {
+    results[i] = run_level(attack, clean, levels[i], captures_per_level, params, policy);
+  });
 
-    LevelResult r;
-    r.name = level.name;
-    r.severity = level.faults.severity();
-    lwe::DbddEstimator estimator(params);
-    // Fixed coefficient budget: every level attacks the same firmware runs
-    // (seeds), so differences come from the faults alone. A capture whose
-    // segmentation fails outright consumes its hint slots with no hints.
-    for (std::size_t k = 0; k < captures_per_level; ++k) {
-      const FullCapture cap = campaign.capture(40000 + k);
-      const RobustCaptureResult res =
-          attack.attack_capture_robust(cap.trace, cfg.n, cfg.segmentation);
-      ++r.captures;
-      r.expected_total += cfg.n;
-      r.recovered_windows += res.segmentation.segments.size();
-      if (res.segmentation.status == sca::SegmentationStatus::kFailed) {
-        r.dropped_hints += cfg.n;
-        continue;
-      }
-      const HintSummary hints = integrate_guess_hints(estimator, res.guesses, policy);
-      r.perfect_hints += hints.perfect;
-      r.approximate_hints += hints.approximate;
-      r.sign_only_hints += hints.sign_only;
-      r.dropped_hints += hints.skipped + (cfg.n - res.guesses.size());
-      for (const auto& g : res.guesses) {
-        switch (g.quality) {
-          case GuessQuality::kOk: ++r.ok_guesses; break;
-          case GuessQuality::kLowConfidence: ++r.low_confidence_guesses; break;
-          case GuessQuality::kAbstained: ++r.abstained_guesses; break;
-        }
-      }
-      // Ground-truth scoring needs window <-> coefficient alignment, which
-      // only holds when the expected count was recovered.
-      if (res.guesses.size() == cap.noise.size()) {
-        for (std::size_t i = 0; i < res.guesses.size(); ++i) {
-          const auto& g = res.guesses[i];
-          const int truth_sign = cap.noise[i] > 0 ? 1 : (cap.noise[i] < 0 ? -1 : 0);
-          ++r.aligned_windows;
-          r.sign_correct += (g.sign == truth_sign);
-          r.value_correct += (g.value == cap.noise[i]);
-          if (routes_as_perfect(g, policy) && g.value != cap.noise[i])
-            ++r.wrong_perfect_hints;
-        }
-        ++r.segmentation_ok;
-      }
-    }
-    const lwe::SecurityEstimate est = estimator.estimate();
-    r.bikz = est.beta;
-    r.bits = est.bits;
-    results.push_back(r);
-
+  for (const LevelResult& r : results) {
     std::printf("\n%-12s severity %.2f  recovery %zu/%zu windows (%zu/%zu captures)\n",
                 r.name.c_str(), r.severity, r.recovered_windows, r.expected_total,
                 r.segmentation_ok, r.captures);
@@ -232,7 +252,7 @@ int main(int argc, char** argv) {
   std::fprintf(out, "{\n  \"baseline_bikz\": %.3f,\n  \"levels\": [\n", baseline);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
-    const auto& f = severity_levels()[i].faults;
+    const auto& f = levels[i].faults;
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"severity\": %.3f,\n"
                  "     \"faults\": {\"jitter_sigma\": %.3f, \"dropout_rate\": %.3f, "

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/campaign_runner.hpp"
+#include "core/parallel.hpp"
 #include "power/trace_recorder.hpp"
 
 namespace reveal::core {
@@ -22,6 +24,11 @@ VictimProgram build_campaign_firmware(const CampaignConfig& config) {
 }
 
 }  // namespace
+
+std::size_t resolved_num_workers(const CampaignConfig& config) noexcept {
+  return config.num_workers == CampaignConfig::kAutoWorkers ? default_num_workers()
+                                                            : config.num_workers;
+}
 
 SamplerCampaign::SamplerCampaign(CampaignConfig config)
     : config_(std::move(config)),
@@ -76,6 +83,10 @@ FullCapture SamplerCampaign::capture(std::uint64_t seed) {
 std::vector<WindowRecord> SamplerCampaign::collect_windows(std::size_t runs,
                                                            std::uint64_t seed_base,
                                                            std::size_t* rejected) {
+  if (resolved_num_workers(config_) > 0) {
+    CampaignRunner runner(resolved_num_workers(config_));
+    return runner.collect_windows(config_, runs, seed_base, rejected);
+  }
   std::vector<WindowRecord> out;
   out.reserve(runs * config_.n);
   std::size_t skipped = 0;

@@ -17,6 +17,9 @@
 namespace reveal::core {
 
 struct CampaignConfig {
+  /// Sentinel for num_workers: resolve to hardware_concurrency at use.
+  static constexpr std::size_t kAutoWorkers = static_cast<std::size_t>(-1);
+
   std::size_t n = 64;  ///< coefficients sampled per firmware run
   std::vector<std::uint64_t> moduli = {132120577ULL};
   bool patched_firmware = false;   ///< run the v3.6-style branch-free victim
@@ -34,7 +37,17 @@ struct CampaignConfig {
       .threshold = 10.0,
       .min_burst_length = 20,
   };
+  /// Worker threads for campaign-shaped sweeps (multi-trace acquisition,
+  /// template building, classification fan-out). kAutoWorkers resolves to
+  /// hardware_concurrency; 0 forces the single-threaded reference path.
+  /// Any setting produces bit-identical results — per-trace RNG streams are
+  /// derived from the capture seed alone, and all accumulations merge in
+  /// index order (pinned by tests/test_campaign_equivalence.cpp).
+  std::size_t num_workers = kAutoWorkers;
 };
+
+/// `config.num_workers` with the auto sentinel resolved.
+[[nodiscard]] std::size_t resolved_num_workers(const CampaignConfig& config) noexcept;
 
 /// One per-coefficient window cut out of a full trace.
 struct WindowRecord {
@@ -66,7 +79,10 @@ class SamplerCampaign {
 
   /// Collects labelled windows from `runs` captures (profiling phase).
   /// Captures whose segmentation does not yield exactly n windows are
-  /// skipped (counted in `rejected` if non-null).
+  /// skipped (counted in `rejected` if non-null). With a resolved
+  /// `config.num_workers > 0` the captures fan out over a CampaignRunner
+  /// worker pool (capture r keeps seed `seed_base + r`, so the collected
+  /// windows are bit-identical to the serial path in any configuration).
   [[nodiscard]] std::vector<WindowRecord> collect_windows(std::size_t runs,
                                                           std::uint64_t seed_base,
                                                           std::size_t* rejected = nullptr);

@@ -38,8 +38,9 @@ RevealAttack::RevealAttack(AttackConfig config) : config_(config) {
     throw std::invalid_argument("RevealAttack: zero-sized configuration");
 }
 
-void RevealAttack::train(const std::vector<WindowRecord>& profiling) {
+void RevealAttack::train(const std::vector<WindowRecord>& profiling, WorkerPool* pool) {
   if (profiling.empty()) throw std::invalid_argument("RevealAttack::train: no windows");
+  const bool parallel = pool != nullptr && !pool->serial();
 
   // --- sign classifier (vulnerability 1) ---
   sca::TraceSet sign_set;
@@ -54,7 +55,8 @@ void RevealAttack::train(const std::vector<WindowRecord>& profiling) {
   sign_classifier_.fit(sign_set, config_.sign_prefix);
 
   // --- sign-conditioned value templates (vulnerabilities 2 + 3) ---
-  auto build_side = [this, &profiling](int sign, std::vector<std::size_t>& pois_out)
+  auto build_side = [this, &profiling, pool, parallel](
+                        int sign, std::vector<std::size_t>& pois_out)
       -> std::optional<sca::TemplateSet> {
     // Drop values too rare to template (outside the observed range).
     std::map<std::int32_t, std::size_t> counts;
@@ -79,8 +81,24 @@ void RevealAttack::train(const std::vector<WindowRecord>& profiling) {
     pois_out = sca::select_pois(sosd, config_.poi_count, config_.poi_min_spacing);
 
     sca::TemplateBuilder builder(pois_out.size());
-    for (const auto& t : side) {
-      builder.add(t.label, sca::extract_pois(t.samples, pois_out));
+    if (parallel) {
+      // Fan the POI extraction out; each worker fills the slots of the
+      // window indices it ran. The pooled-covariance accumulation itself is
+      // then replayed in index order, which keeps the (order-sensitive)
+      // floating-point updates bit-identical to the serial fold below — an
+      // accumulator merged in any other order would drift in the last ulps
+      // and break the byte-identical equivalence guarantee.
+      std::vector<std::vector<double>> observations(side.size());
+      pool->run_indexed(side.size(), [&](std::size_t i, std::size_t) {
+        observations[i] = sca::extract_pois(side[i].samples, pois_out);
+      });
+      for (std::size_t i = 0; i < side.size(); ++i) {
+        builder.add(side[i].label, observations[i]);
+      }
+    } else {
+      for (const auto& t : side) {
+        builder.add(t.label, sca::extract_pois(t.samples, pois_out));
+      }
     }
     return builder.build();
   };
@@ -194,7 +212,7 @@ CoefficientGuess RevealAttack::attack_window(const std::vector<double>& window,
 
 RobustCaptureResult RevealAttack::attack_capture_robust(
     const std::vector<double>& trace, std::size_t expected_windows,
-    const sca::SegmentationConfig& seg_config) const {
+    const sca::SegmentationConfig& seg_config, WorkerPool* pool) const {
   if (!trained()) throw std::logic_error("RevealAttack: train() first");
   RobustCaptureResult out;
   out.segmentation = sca::segment_trace_robust(trace, expected_windows, seg_config);
@@ -205,22 +223,39 @@ RobustCaptureResult RevealAttack::attack_capture_robust(
                                : sca::auto_threshold(trace);
   anchor_windows_at_burst_edge(trace, out.segmentation.segments, threshold);
 
-  out.guesses.reserve(out.segmentation.segments.size());
-  for (std::size_t i = 0; i < out.segmentation.segments.size(); ++i) {
+  auto window_guess = [&](std::size_t i) {
     const sca::Segment& seg = out.segmentation.segments[i];
     const std::vector<double> window(
         trace.begin() + static_cast<std::ptrdiff_t>(seg.window_begin),
         trace.begin() + static_cast<std::ptrdiff_t>(seg.window_end));
-    out.guesses.push_back(attack_window(window, out.segmentation.window_quality[i]));
+    return attack_window(window, out.segmentation.window_quality[i]);
+  };
+  if (pool != nullptr && !pool->serial()) {
+    out.guesses.resize(out.segmentation.segments.size());
+    pool->run_indexed(out.guesses.size(),
+                      [&](std::size_t i, std::size_t) { out.guesses[i] = window_guess(i); });
+  } else {
+    out.guesses.reserve(out.segmentation.segments.size());
+    for (std::size_t i = 0; i < out.segmentation.segments.size(); ++i) {
+      out.guesses.push_back(window_guess(i));
+    }
   }
   return out;
 }
 
-std::vector<CoefficientGuess> RevealAttack::attack_capture(const FullCapture& capture) const {
-  std::vector<CoefficientGuess> out;
-  out.reserve(capture.segments.size());
+std::vector<CoefficientGuess> RevealAttack::attack_capture(const FullCapture& capture,
+                                                           WorkerPool* pool) const {
   const std::vector<WindowRecord> windows = windows_from_capture(capture);
-  for (const auto& w : windows) out.push_back(attack_window(w.samples));
+  std::vector<CoefficientGuess> out;
+  if (pool != nullptr && !pool->serial()) {
+    out.resize(windows.size());
+    pool->run_indexed(windows.size(), [&](std::size_t i, std::size_t) {
+      out[i] = attack_window(windows[i].samples);
+    });
+  } else {
+    out.reserve(windows.size());
+    for (const auto& w : windows) out.push_back(attack_window(w.samples));
+  }
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/acquisition.hpp"
+#include "core/parallel.hpp"
 #include "sca/classifier.hpp"
 #include "sca/template_attack.hpp"
 
@@ -100,7 +101,13 @@ class RevealAttack {
   /// Trains the sign classifier and the sign-conditioned template sets from
   /// labelled profiling windows. Throws if a sign class is missing or too
   /// small.
-  void train(const std::vector<WindowRecord>& profiling);
+  ///
+  /// With a non-serial `pool`, the per-window POI extraction fans out over
+  /// the workers into per-worker partial accumulators; the partials are then
+  /// folded into the pooled-covariance builder in window-index order, so the
+  /// built templates are bit-identical to the serial path regardless of
+  /// worker count or stealing schedule.
+  void train(const std::vector<WindowRecord>& profiling, WorkerPool* pool = nullptr);
 
   [[nodiscard]] bool trained() const noexcept { return sign_classifier_.fitted(); }
   [[nodiscard]] const AttackConfig& config() const noexcept { return config_; }
@@ -118,17 +125,21 @@ class RevealAttack {
   [[nodiscard]] CoefficientGuess attack_window(const std::vector<double>& window,
                                                double window_quality = 1.0) const;
 
-  /// Attacks every window of a capture (single-trace attack).
+  /// Attacks every window of a capture (single-trace attack). A non-serial
+  /// `pool` fans the per-window classifications out over the workers; each
+  /// guess is written to its window-index slot, so the result is identical
+  /// for any worker count.
   [[nodiscard]] std::vector<CoefficientGuess> attack_capture(
-      const FullCapture& capture) const;
+      const FullCapture& capture, WorkerPool* pool = nullptr) const;
 
   /// Degradation-aware single-trace attack: robust segmentation with the
   /// expected window count, burst-edge anchoring, then per-window attacks
   /// gated by the segmentation quality scores. Never throws on a bad trace;
   /// a failed segmentation returns zero guesses with the diagnosis attached.
+  /// `pool` parallelizes the per-window stage exactly as in attack_capture.
   [[nodiscard]] RobustCaptureResult attack_capture_robust(
       const std::vector<double>& trace, std::size_t expected_windows,
-      const sca::SegmentationConfig& seg_config) const;
+      const sca::SegmentationConfig& seg_config, WorkerPool* pool = nullptr) const;
 
  private:
   AttackConfig config_;

@@ -1,0 +1,106 @@
+#pragma once
+// Parallel attack-campaign engine.
+//
+// A "campaign" is the unit of every Table I/III-style experiment: many
+// seeded firmware captures, template building over the collected windows,
+// per-window classification, and hint integration into the DBDD estimator.
+// CampaignRunner drives all four stages through one WorkerPool
+// (core/parallel.hpp) while guaranteeing results that are *byte-identical*
+// to the single-threaded pipeline for every worker count:
+//
+//   * acquisition: capture i is a pure function of (config, seeds[i]) — the
+//     firmware PRNG, measurement-noise, and fault streams all derive from
+//     the capture seed. Each worker runs its own SamplerCampaign replica
+//     (captures are history-independent), and results land in index slots.
+//   * template building: POI extraction fans out; the pooled-covariance
+//     accumulation replays in window-index order (see RevealAttack::train).
+//   * classification: per-window fan-out, guesses written by window index.
+//   * hints: workers *route* their captures' guesses into HintRecord lists
+//     (a pure function); the estimator integration — whose floating-point
+//     state is order-sensitive — replays those records in capture order on
+//     the calling thread. Counters accumulate in per-worker HintTally
+//     partials merged in worker-index order, then are cross-checked against
+//     an ordered recount: a data race that loses an update is detected, not
+//     silently reported.
+//
+// The serial path (num_workers == 0) spawns no threads and executes the
+// pre-existing single-threaded code; tests/test_campaign_equivalence.cpp
+// pins workers ∈ {0, 1, 4} to byte-identical RecoveryReports and hint sets.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/acquisition.hpp"
+#include "core/attack.hpp"
+#include "core/hints.hpp"
+#include "core/parallel.hpp"
+#include "lwe/dbdd.hpp"
+#include "sca/report.hpp"
+
+namespace reveal::core {
+
+/// Everything a recovery campaign produced, in deterministic order.
+struct RecoveryCampaignResult {
+  std::vector<RobustCaptureResult> captures;   ///< one per seed, in seed order
+  std::vector<std::vector<HintRecord>> hints;  ///< per capture, in window order
+  HintSummary hint_totals;                     ///< over all captures
+  sca::RecoveryReport report;  ///< aggregate stage counters + residual estimate
+};
+
+class CampaignRunner {
+ public:
+  /// `num_workers == 0` is the single-threaded reference path; the default
+  /// uses every hardware thread.
+  explicit CampaignRunner(std::size_t num_workers = default_num_workers());
+
+  [[nodiscard]] std::size_t num_workers() const noexcept { return pool_.num_workers(); }
+  [[nodiscard]] bool serial() const noexcept { return pool_.serial(); }
+  [[nodiscard]] WorkerPool& pool() noexcept { return pool_; }
+
+  /// Counter-split per-capture seeds: {stream_seed(base_seed, 0..count)}.
+  [[nodiscard]] static std::vector<std::uint64_t> stream_seeds(std::uint64_t base_seed,
+                                                               std::size_t count);
+
+  // --- (a) multi-trace acquisition ---------------------------------------
+
+  /// Captures seeds[i] for every i, in parallel; out[i] corresponds to
+  /// seeds[i] regardless of scheduling.
+  [[nodiscard]] std::vector<FullCapture> capture_many(const CampaignConfig& config,
+                                                      const std::vector<std::uint64_t>& seeds);
+
+  /// Parallel counterpart of SamplerCampaign::collect_windows: capture r
+  /// uses seed `seed_base + r` (the legacy profiling schedule), captures
+  /// fan out over the pool, and windows are appended in capture order.
+  [[nodiscard]] std::vector<WindowRecord> collect_windows(const CampaignConfig& config,
+                                                          std::size_t runs,
+                                                          std::uint64_t seed_base,
+                                                          std::size_t* rejected = nullptr);
+
+  // --- (b) template building / (c) classification fan-out ----------------
+
+  void train(RevealAttack& attack, const std::vector<WindowRecord>& profiling);
+
+  [[nodiscard]] std::vector<CoefficientGuess> attack_capture(const RevealAttack& attack,
+                                                             const FullCapture& capture);
+
+  [[nodiscard]] RobustCaptureResult attack_capture_robust(
+      const RevealAttack& attack, const std::vector<double>& trace,
+      std::size_t expected_windows, const sca::SegmentationConfig& seg_config);
+
+  // --- full campaign ------------------------------------------------------
+
+  /// Runs the complete degradation-aware campaign over `seeds`: capture ->
+  /// robust segmentation -> classification -> hint routing per capture on
+  /// the workers, then ordered hint integration and the security estimate
+  /// on the calling thread. Throws std::logic_error if the merged per-worker
+  /// tallies disagree with the ordered recount (a lost-update symptom).
+  [[nodiscard]] RecoveryCampaignResult run_recovery_campaign(
+      const RevealAttack& attack, const CampaignConfig& config,
+      const std::vector<std::uint64_t>& seeds, const HintPolicy& policy,
+      const lwe::DbddParams& params);
+
+ private:
+  WorkerPool pool_;
+};
+
+}  // namespace reveal::core

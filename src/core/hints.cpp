@@ -27,63 +27,91 @@ HintSummary integrate_guess_hints(lwe::DbddEstimator& estimator,
   return summary;
 }
 
+HintRecord route_guess(const CoefficientGuess& g, const HintPolicy& policy) {
+  switch (g.quality) {
+    case GuessQuality::kOk: {
+      if (g.sign == 0 && policy.zero_hint_variance > 0.0)
+        return {HintRecord::Kind::kApproximate, policy.zero_hint_variance};
+      const double variance = g.posterior_variance();
+      if (variance <= policy.perfect_threshold) return {HintRecord::Kind::kPerfect, 0.0};
+      return {HintRecord::Kind::kApproximate, variance};
+    }
+    case GuessQuality::kLowConfidence: {
+      const double variance =
+          std::max(g.posterior_variance() * policy.low_confidence_inflation,
+                   policy.min_inflated_variance);
+      return {HintRecord::Kind::kApproximate, variance};
+    }
+    case GuessQuality::kAbstained: {
+      if (!g.sign_trusted) return {HintRecord::Kind::kSkipped, 0.0};
+      const double variance =
+          g.sign == 0 ? policy.abstained_zero_variance
+                      : num::positive_tail_variance(policy.sigma, policy.max_deviation);
+      return {HintRecord::Kind::kSignOnly, variance};
+    }
+  }
+  return {HintRecord::Kind::kSkipped, 0.0};  // unreachable
+}
+
+void apply_hint(lwe::DbddEstimator& estimator, const HintRecord& record) {
+  switch (record.kind) {
+    case HintRecord::Kind::kPerfect:
+      estimator.integrate_perfect_error_hints(1);
+      break;
+    case HintRecord::Kind::kApproximate:
+    case HintRecord::Kind::kSignOnly:
+      estimator.integrate_posterior_error_hints(record.variance, 1);
+      break;
+    case HintRecord::Kind::kSkipped:
+      break;
+  }
+}
+
+void HintTally::add(const HintRecord& record) {
+  switch (record.kind) {
+    case HintRecord::Kind::kPerfect: ++perfect; break;
+    case HintRecord::Kind::kApproximate:
+      ++approximate;
+      approximate_variance_sum += record.variance;
+      break;
+    case HintRecord::Kind::kSignOnly: ++sign_only; break;
+    case HintRecord::Kind::kSkipped: ++skipped; break;
+  }
+}
+
+void HintTally::merge(const HintTally& other) noexcept {
+  perfect += other.perfect;
+  approximate += other.approximate;
+  sign_only += other.sign_only;
+  skipped += other.skipped;
+  approximate_variance_sum += other.approximate_variance_sum;
+}
+
+HintSummary HintTally::summary() const {
+  HintSummary s;
+  s.perfect = perfect;
+  s.approximate = approximate;
+  s.sign_only = sign_only;
+  s.skipped = skipped;
+  if (approximate > 0)
+    s.mean_residual_variance = approximate_variance_sum / static_cast<double>(approximate);
+  return s;
+}
+
 bool routes_as_perfect(const CoefficientGuess& g, const HintPolicy& policy) {
-  if (g.quality != GuessQuality::kOk) return false;
-  if (g.sign == 0 && policy.zero_hint_variance > 0.0) return false;
-  return g.posterior_variance() <= policy.perfect_threshold;
+  return route_guess(g, policy).kind == HintRecord::Kind::kPerfect;
 }
 
 HintSummary integrate_guess_hints(lwe::DbddEstimator& estimator,
                                   const std::vector<CoefficientGuess>& guesses,
                                   const HintPolicy& policy) {
-  const double side_variance =
-      num::positive_tail_variance(policy.sigma, policy.max_deviation);
-  HintSummary summary;
-  double var_acc = 0.0;
+  HintTally tally;
   for (const auto& g : guesses) {
-    switch (g.quality) {
-      case GuessQuality::kOk: {
-        if (g.sign == 0 && policy.zero_hint_variance > 0.0) {
-          estimator.integrate_posterior_error_hints(policy.zero_hint_variance, 1);
-          ++summary.approximate;
-          var_acc += policy.zero_hint_variance;
-          break;
-        }
-        const double variance = g.posterior_variance();
-        if (variance <= policy.perfect_threshold) {
-          estimator.integrate_perfect_error_hints(1);
-          ++summary.perfect;
-        } else {
-          estimator.integrate_posterior_error_hints(variance, 1);
-          ++summary.approximate;
-          var_acc += variance;
-        }
-        break;
-      }
-      case GuessQuality::kLowConfidence: {
-        const double variance =
-            std::max(g.posterior_variance() * policy.low_confidence_inflation,
-                     policy.min_inflated_variance);
-        estimator.integrate_posterior_error_hints(variance, 1);
-        ++summary.approximate;
-        var_acc += variance;
-        break;
-      }
-      case GuessQuality::kAbstained: {
-        if (!g.sign_trusted) {
-          ++summary.skipped;
-          break;
-        }
-        estimator.integrate_posterior_error_hints(
-            g.sign == 0 ? policy.abstained_zero_variance : side_variance, 1);
-        ++summary.sign_only;
-        break;
-      }
-    }
+    const HintRecord record = route_guess(g, policy);
+    apply_hint(estimator, record);
+    tally.add(record);
   }
-  if (summary.approximate > 0)
-    summary.mean_residual_variance = var_acc / static_cast<double>(summary.approximate);
-  return summary;
+  return tally.summary();
 }
 
 HintSummary integrate_sign_only_hints(lwe::DbddEstimator& estimator,

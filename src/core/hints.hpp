@@ -60,6 +60,53 @@ struct HintPolicy {
   double zero_hint_variance = 0.25;
 };
 
+/// One routed hint: what a single coefficient guess contributes to the
+/// estimator under a HintPolicy. Routing is a pure function of the guess —
+/// no estimator, no shared state — so campaign workers can route their
+/// captures concurrently and the (ordered) records are the ground truth the
+/// equivalence suite compares byte-for-byte.
+struct HintRecord {
+  enum class Kind : std::uint8_t {
+    kPerfect,      ///< integrate_perfect_error_hints(1)
+    kApproximate,  ///< integrate_posterior_error_hints(variance, 1)
+    kSignOnly,     ///< posterior replacement by the sign-conditioned variance
+    kSkipped,      ///< no trusted information: no hint
+  };
+  Kind kind = Kind::kSkipped;
+  double variance = 0.0;  ///< hint variance (0 for perfect/skipped)
+
+  friend bool operator==(const HintRecord&, const HintRecord&) = default;
+};
+
+/// Routes one guess under `policy`. integrate_guess_hints is exactly
+/// route_guess + apply_hint over the guesses in order.
+[[nodiscard]] HintRecord route_guess(const CoefficientGuess& g, const HintPolicy& policy);
+
+/// Applies a routed hint to the estimator (no-op for kSkipped).
+void apply_hint(lwe::DbddEstimator& estimator, const HintRecord& record);
+
+/// Hint counters that accumulate per worker and merge exactly.
+///
+/// HintSummary's counters must never be mutated from several workers at
+/// once (lost updates under contention); instead each worker owns a
+/// HintTally and the campaign merges them in worker-index order. The tally
+/// keeps the *raw* variance sum rather than the mean so that merging is
+/// associative and exact for the integer counters; the final
+/// mean_residual_variance is computed once at summary() time.
+struct HintTally {
+  std::size_t perfect = 0;
+  std::size_t approximate = 0;
+  std::size_t sign_only = 0;
+  std::size_t skipped = 0;
+  double approximate_variance_sum = 0.0;
+
+  void add(const HintRecord& record);
+  void merge(const HintTally& other) noexcept;
+  [[nodiscard]] HintSummary summary() const;
+
+  friend bool operator==(const HintTally&, const HintTally&) = default;
+};
+
 /// True if `g` would be integrated as a *perfect* hint under `policy` —
 /// the exact predicate used by integrate_guess_hints, exported so tests and
 /// benches can count (and cross-check) perfect hints without duplicating

@@ -1,0 +1,99 @@
+// Regenerates the golden regression fixture under tests/data/:
+//
+//   golden_trace.bin     one serialized capture (sca::TraceSet, 1 trace) of
+//                        the clean 16-coefficient sampler firmware, seed 777
+//   golden_expected.txt  the sign/value recovery the pinned pipeline
+//                        produces for that trace: one line per window with
+//                        "<index> <sign> <value> <quality> <truth>"
+//
+// test_golden_fixture.cpp replays the attack against the serialized trace
+// and compares to the expected file, so any behavioural drift in
+// segmentation, classification, or template numerics shows up as a diff
+// against committed artifacts. Rerun this tool (build/tests/gen_golden_fixture
+// [output_dir]) only when a change is *supposed* to alter the recovery, and
+// commit the regenerated files with it.
+
+#include <cstdio>
+#include <string>
+
+#include "core/acquisition.hpp"
+#include "core/attack.hpp"
+#include "sca/trace.hpp"
+
+using namespace reveal;
+using namespace reveal::core;
+
+namespace {
+
+// Shared with test_golden_fixture.cpp: the fixture pins *this* pipeline.
+CampaignConfig fixture_capture_config() {
+  CampaignConfig cfg;
+  cfg.n = 16;  // keeps the serialized trace small
+  cfg.num_workers = 0;
+  return cfg;
+}
+
+AttackConfig fixture_attack_config() {
+  AttackConfig acfg;
+  acfg.abstain_margin = 0.30;
+  acfg.low_confidence_margin = 0.45;
+  acfg.value_commit_threshold = 0.05;
+  acfg.sign_fit_threshold = 2.5;
+  acfg.value_fit_threshold = 4.0;
+  return acfg;
+}
+
+constexpr std::uint64_t kCaptureSeed = 777;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "tests/data";
+
+  CampaignConfig train_cfg;
+  train_cfg.n = 64;
+  train_cfg.num_workers = 0;
+  SamplerCampaign profiler(train_cfg);
+  RevealAttack attack(fixture_attack_config());
+  std::printf("training on 120 clean profiling runs...\n");
+  attack.train(profiler.collect_windows(120, /*seed_base=*/1));
+
+  const CampaignConfig cfg = fixture_capture_config();
+  SamplerCampaign campaign(cfg);
+  const FullCapture cap = campaign.capture(kCaptureSeed);
+  if (cap.segments.size() != cfg.n) {
+    std::fprintf(stderr, "capture segmentation yielded %zu/%zu windows\n",
+                 cap.segments.size(), cfg.n);
+    return 1;
+  }
+
+  sca::TraceSet set;
+  sca::Trace t;
+  t.samples = cap.trace;
+  t.label = 0;
+  set.add(std::move(t));
+  const std::string bin_path = out_dir + "/golden_trace.bin";
+  set.save(bin_path);
+  std::printf("wrote %s (%zu samples)\n", bin_path.c_str(), cap.trace.size());
+
+  const RobustCaptureResult res =
+      attack.attack_capture_robust(cap.trace, cfg.n, cfg.segmentation);
+  const std::string txt_path = out_dir + "/golden_expected.txt";
+  std::FILE* out = std::fopen(txt_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", txt_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "# golden recovery for golden_trace.bin (capture seed %llu)\n"
+               "# index sign value quality truth   (quality: 0=ok 1=lowconf 2=abstained)\n",
+               static_cast<unsigned long long>(kCaptureSeed));
+  for (std::size_t i = 0; i < res.guesses.size(); ++i) {
+    const CoefficientGuess& g = res.guesses[i];
+    std::fprintf(out, "%zu %d %d %d %lld\n", i, g.sign, g.value,
+                 static_cast<int>(g.quality), static_cast<long long>(cap.noise[i]));
+  }
+  std::fclose(out);
+  std::printf("wrote %s (%zu windows)\n", txt_path.c_str(), res.guesses.size());
+  return 0;
+}
