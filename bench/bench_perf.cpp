@@ -1,14 +1,44 @@
-// Microbenchmarks of the core primitives (google-benchmark): NTT, BFV
-// encrypt/decrypt, the RISC-V victim simulation, trace segmentation,
-// template scoring and LLL — the cost profile of the whole reproduction.
+// Microbenchmarks of the core primitives: NTT, BFV encrypt/decrypt, the
+// RISC-V victim simulation, trace segmentation, template scoring and LLL —
+// the cost profile of the whole reproduction.
+//
+// Two modes:
+//   * default: google-benchmark over the registered BM_* functions
+//     (supports the usual --benchmark_* flags);
+//   * --json [--smoke]: the hot-path regression harness. Hand-rolled
+//     steady_clock loops time the predecoded/fused victim simulation and
+//     the shared-work template scoring against their pre-optimization
+//     reference implementations (Machine::run_reference,
+//     TemplateSet::*_reference), plus segmentation / capture / NTT
+//     throughput, and emit BENCH_perf.json. The run fails (nonzero exit)
+//     if the fast paths are not byte-identical: the fast and reference
+//     victim executions must produce identical InstrEvent streams, cycle
+//     counts and decoded noise, and the golden fixture's committed
+//     recovery (tests/data/golden_expected.txt) must replay exactly
+//     through the optimized pipeline. --smoke shrinks the iteration
+//     counts and skips the speedup thresholds (identity is still
+//     enforced) so CTest can run the gate quickly.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "core/acquisition.hpp"
 #include "core/attack.hpp"
+#include "core/victim.hpp"
 #include "lattice/lattice.hpp"
+#include "numeric/matrix.hpp"
 #include "numeric/rng.hpp"
 #include "sca/segmentation.hpp"
+#include "sca/template_attack.hpp"
+#include "sca/trace.hpp"
 #include "seal/decryptor.hpp"
 #include "seal/encryptor.hpp"
 #include "seal/keys.hpp"
@@ -18,6 +48,318 @@
 using namespace reveal;
 
 namespace {
+
+// --------------------------------------------------------------------------
+// Shared helpers for the --json harness
+// --------------------------------------------------------------------------
+
+/// The pre-PR victim execution shape: decode-per-step interpretation with a
+/// runtime observer null check (Machine::run_reference).
+core::VictimRun run_victim_reference(const core::VictimProgram& prog, riscv::Machine& machine,
+                                     std::uint32_t seed,
+                                     riscv::ExecutionObserver* observer = nullptr) {
+  core::detail::prepare_victim_run(prog, machine, seed);
+  const auto reason =
+      machine.run_reference(core::detail::victim_instruction_limit(prog), observer);
+  return core::detail::finish_victim_run(prog, machine, reason);
+}
+
+/// Times f(i) over `iters` calls after a small warmup; returns ns per call.
+template <typename F>
+double time_ns_per_op(F&& f, std::size_t iters) {
+  for (std::size_t i = 0; i < 3 && i < iters; ++i) f(i);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) f(i);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  return ns / static_cast<double>(iters);
+}
+
+/// Records every InstrEvent for field-by-field stream comparison.
+struct EventCollector final : riscv::ExecutionObserver {
+  std::vector<riscv::InstrEvent> events;
+  void on_instruction(const riscv::InstrEvent& e) override { events.push_back(e); }
+};
+
+bool events_equal(const riscv::InstrEvent& a, const riscv::InstrEvent& b) {
+  return a.pc == b.pc && a.op == b.op && a.klass == b.klass && a.rd == b.rd &&
+         a.rs1_val == b.rs1_val && a.rs2_val == b.rs2_val && a.rd_old == b.rd_old &&
+         a.rd_new == b.rd_new && a.rd_written == b.rd_written &&
+         a.branch_taken == b.branch_taken && a.mem_addr == b.mem_addr &&
+         a.mem_data == b.mem_data && a.is_mem_read == b.is_mem_read &&
+         a.is_mem_write == b.is_mem_write && a.cycles == b.cycles;
+}
+
+/// Fast (predecoded + fused observer) vs reference execution over several
+/// seeds: event streams, cycle/instruction counters and decoded noise must
+/// all match exactly.
+bool victim_identity_gate() {
+  const core::VictimProgram prog = core::build_sampler_firmware(64, {132120577ULL});
+  riscv::Machine fast_machine(prog.memory_bytes);
+  riscv::Machine ref_machine(prog.memory_bytes);
+  for (std::uint32_t seed = 1; seed <= 5; ++seed) {
+    EventCollector fast_events;
+    EventCollector ref_events;
+    const core::VictimRun fast =
+        core::run_victim_with(prog, fast_machine, seed, fast_events);
+    const core::VictimRun ref = run_victim_reference(prog, ref_machine, seed, &ref_events);
+    if (fast.noise != ref.noise || fast.cycles != ref.cycles ||
+        fast.instructions != ref.instructions)
+      return false;
+    if (fast_events.events.size() != ref_events.events.size()) return false;
+    for (std::size_t i = 0; i < fast_events.events.size(); ++i) {
+      if (!events_equal(fast_events.events[i], ref_events.events[i])) return false;
+    }
+  }
+  return true;
+}
+
+/// A template set of the attack's shape: K labels, pooled SPD covariance.
+sca::TemplateSet make_template_set(std::size_t num_classes, std::size_t dim,
+                                   std::uint64_t seed) {
+  num::Xoshiro256StarStar rng(seed);
+  num::Matrix a(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i)
+    for (std::size_t j = 0; j < dim; ++j) a(i, j) = rng.gaussian(0.0, 1.0);
+  num::Matrix cov(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < dim; ++k) acc += a(k, i) * a(k, j);
+      cov(i, j) = acc / static_cast<double>(dim);
+    }
+  }
+  num::add_ridge(cov, 0.05);
+  std::vector<sca::TemplateSet::ClassTemplate> classes(num_classes);
+  const std::int32_t half = static_cast<std::int32_t>(num_classes / 2);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    classes[c].label = static_cast<std::int32_t>(c) - half;
+    classes[c].count = 16;
+    classes[c].mean.resize(dim);
+    for (double& m : classes[c].mean) m = rng.gaussian(0.0, 2.0);
+  }
+  return sca::TemplateSet(std::move(classes), std::move(cov));
+}
+
+struct ExpectedWindow {
+  std::size_t index = 0;
+  int sign = 0;
+  int value = 0;
+  int quality = 0;
+  long long truth = 0;
+};
+
+/// Replays the committed golden-fixture recovery (same pinned configuration
+/// as tests/test_golden_fixture.cpp) through the optimized pipeline; every
+/// window's integer decision must match the committed expectation.
+bool golden_identity_gate() {
+  const std::string dir = REVEAL_GOLDEN_DATA_DIR;
+  const sca::TraceSet set = sca::TraceSet::load(dir + "/golden_trace.bin");
+  if (set.size() != 1) return false;
+
+  std::vector<ExpectedWindow> expected;
+  std::ifstream in(dir + "/golden_expected.txt");
+  if (!in.good()) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ExpectedWindow w;
+    if (std::sscanf(line.c_str(), "%zu %d %d %d %lld", &w.index, &w.sign, &w.value,
+                    &w.quality, &w.truth) != 5)
+      return false;
+    expected.push_back(w);
+  }
+
+  core::CampaignConfig capture_cfg;
+  capture_cfg.n = 16;
+  capture_cfg.num_workers = 0;
+  if (expected.size() != capture_cfg.n) return false;
+
+  core::CampaignConfig train_cfg;
+  train_cfg.n = 64;
+  train_cfg.num_workers = 0;
+  core::SamplerCampaign profiler(train_cfg);
+  core::AttackConfig acfg;
+  acfg.abstain_margin = 0.30;
+  acfg.low_confidence_margin = 0.45;
+  acfg.value_commit_threshold = 0.05;
+  acfg.sign_fit_threshold = 2.5;
+  acfg.value_fit_threshold = 4.0;
+  core::RevealAttack attack(acfg);
+  attack.train(profiler.collect_windows(120, /*seed_base=*/1));
+
+  const core::RobustCaptureResult res = attack.attack_capture_robust(
+      set[0].samples, capture_cfg.n, capture_cfg.segmentation);
+  if (res.guesses.size() != expected.size()) return false;
+  for (const ExpectedWindow& w : expected) {
+    const core::CoefficientGuess& g = res.guesses[w.index];
+    if (g.sign != w.sign || g.value != w.value || static_cast<int>(g.quality) != w.quality)
+      return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// --json harness
+// --------------------------------------------------------------------------
+
+int run_json_harness(bool smoke) {
+  constexpr double kVictimSpeedupGate = 2.0;
+  constexpr double kTemplateSpeedupGate = 3.0;
+
+  // --- victim simulation: predecoded+fused vs decode-per-step ------------
+  const core::VictimProgram prog = core::build_sampler_firmware(64, {132120577ULL});
+  riscv::Machine machine(prog.memory_bytes);
+  const std::size_t victim_iters = smoke ? 20 : 300;
+  std::uint64_t sink = 0;
+  const double victim_fast_ns = time_ns_per_op(
+      [&](std::size_t i) {
+        const auto run = core::run_victim(prog, machine, static_cast<std::uint32_t>(i + 1));
+        sink += run.cycles;
+      },
+      victim_iters);
+  riscv::Machine ref_machine(prog.memory_bytes);
+  ref_machine.set_predecode(false);
+  const double victim_ref_ns = time_ns_per_op(
+      [&](std::size_t i) {
+        const auto run =
+            run_victim_reference(prog, ref_machine, static_cast<std::uint32_t>(i + 1));
+        sink += run.cycles;
+      },
+      victim_iters);
+  const double victim_speedup = victim_ref_ns > 0.0 ? victim_ref_ns / victim_fast_ns : 0.0;
+
+  // --- template scoring: shared-work factorization vs per-class loops ----
+  const std::size_t dim = 12;
+  const std::size_t num_classes = 25;  // sign classes + value classes of the attack
+  const sca::TemplateSet templates = make_template_set(num_classes, dim, 99);
+  num::Xoshiro256StarStar obs_rng(7);
+  std::vector<std::vector<double>> observations(smoke ? 64 : 512);
+  for (auto& obs : observations) {
+    obs.resize(dim);
+    for (double& v : obs) v = obs_rng.gaussian(0.0, 2.0);
+  }
+  const std::size_t score_iters = smoke ? 2000 : 40000;
+  double fsink = 0.0;
+  const double score_fast_ns = time_ns_per_op(
+      [&](std::size_t i) {
+        const auto d = templates.mahalanobis(observations[i % observations.size()]);
+        fsink += d.back();
+      },
+      score_iters);
+  const double score_ref_ns = time_ns_per_op(
+      [&](std::size_t i) {
+        const auto d = templates.mahalanobis_reference(observations[i % observations.size()]);
+        fsink += d.back();
+      },
+      score_iters);
+  const double score_speedup = score_ref_ns > 0.0 ? score_ref_ns / score_fast_ns : 0.0;
+  double score_max_delta = 0.0;
+  for (const auto& obs : observations) {
+    const auto fast = templates.mahalanobis(obs);
+    const auto ref = templates.mahalanobis_reference(obs);
+    for (std::size_t c = 0; c < fast.size(); ++c) {
+      score_max_delta = std::max(score_max_delta, std::fabs(fast[c] - ref[c]));
+    }
+  }
+
+  // --- capture + segmentation throughput ---------------------------------
+  core::CampaignConfig cfg = bench::default_campaign(64);
+  cfg.num_workers = 0;
+  core::SamplerCampaign campaign(cfg);
+  core::FullCapture cap;
+  const double capture_ns = time_ns_per_op(
+      [&](std::size_t i) {
+        campaign.capture_into(i + 1, cap);
+        sink += cap.trace.size();
+      },
+      smoke ? 10 : 100);
+  campaign.capture_into(12345, cap);
+  const double segment_ns = time_ns_per_op(
+      [&](std::size_t) {
+        const auto segs = sca::segment_trace(cap.trace, cfg.segmentation);
+        sink += segs.size();
+      },
+      smoke ? 20 : 200);
+
+  // --- NTT throughput ----------------------------------------------------
+  const seal::Modulus q(132120577);
+  const seal::NttTables tables(1024, q);
+  num::Xoshiro256StarStar ntt_rng(1);
+  std::vector<std::uint64_t> poly(1024);
+  for (auto& v : poly) v = ntt_rng() % q.value();
+  const double ntt_ns = time_ns_per_op(
+      [&](std::size_t) {
+        tables.forward_transform(poly.data());
+        sink += poly[0];
+      },
+      smoke ? 200 : 4000);
+
+  // --- byte-identity gates ----------------------------------------------
+  const bool victim_identical = victim_identity_gate();
+  const bool golden_identical = golden_identity_gate();
+  const bool identity_ok = victim_identical && golden_identical;
+  const bool speedups_ok =
+      victim_speedup >= kVictimSpeedupGate && score_speedup >= kTemplateSpeedupGate;
+  const bool passed = identity_ok && (smoke || speedups_ok);
+
+  const char* out_path = "BENCH_perf.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"perf\",\n  \"smoke\": %s,\n",
+               smoke ? "true" : "false");
+  std::fprintf(out,
+               "  \"victim_sim\": {\"fast_ns_per_run\": %.1f, \"baseline_ns_per_run\": "
+               "%.1f, \"speedup\": %.2f, \"identical\": %s},\n",
+               victim_fast_ns, victim_ref_ns, victim_speedup,
+               victim_identical ? "true" : "false");
+  std::fprintf(out,
+               "  \"template_scoring\": {\"fast_ns_per_obs\": %.1f, "
+               "\"baseline_ns_per_obs\": %.1f, \"speedup\": %.2f, \"classes\": %zu, "
+               "\"dim\": %zu, \"max_abs_delta\": %.3e},\n",
+               score_fast_ns, score_ref_ns, score_speedup, num_classes, dim,
+               score_max_delta);
+  std::fprintf(out, "  \"capture\": {\"ns_per_capture\": %.1f},\n", capture_ns);
+  std::fprintf(out, "  \"segmentation\": {\"ns_per_trace\": %.1f},\n", segment_ns);
+  std::fprintf(out, "  \"ntt_forward_1024\": {\"ns_per_transform\": %.1f},\n", ntt_ns);
+  std::fprintf(out, "  \"golden_recovery_identical\": %s,\n",
+               golden_identical ? "true" : "false");
+  std::fprintf(out,
+               "  \"gates\": {\"victim_speedup_min\": %.1f, \"template_speedup_min\": "
+               "%.1f, \"enforced\": %s, \"passed\": %s},\n",
+               kVictimSpeedupGate, kTemplateSpeedupGate, smoke ? "false" : "true",
+               passed ? "true" : "false");
+  // Folding the sinks into the output keeps the timed work observable
+  // (nothing for the optimizer to elide).
+  std::fprintf(out, "  \"checksum\": \"%llu\"\n}\n",
+               static_cast<unsigned long long>(sink % 997) +
+                   (std::isfinite(fsink) ? 0ULL : 1ULL));
+  std::fclose(out);
+
+  std::printf("victim sim:       fast %.0f ns/run  baseline %.0f ns/run  speedup %.2fx\n",
+              victim_fast_ns, victim_ref_ns, victim_speedup);
+  std::printf("template scoring: fast %.0f ns/obs  baseline %.0f ns/obs  speedup %.2fx\n",
+              score_fast_ns, score_ref_ns, score_speedup);
+  std::printf("capture %.0f ns  segmentation %.0f ns  ntt-1024 %.0f ns\n", capture_ns,
+              segment_ns, ntt_ns);
+  std::printf("identity: victim events %s, golden recovery %s\n",
+              victim_identical ? "ok" : "MISMATCH", golden_identical ? "ok" : "MISMATCH");
+  if (!passed) {
+    std::fprintf(stderr, "bench_perf: gate FAILED (identity %s, speedups %s)\n",
+                 identity_ok ? "ok" : "violated", speedups_ok ? "ok" : "below threshold");
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}
+
+// --------------------------------------------------------------------------
+// google-benchmark registrations (default mode)
+// --------------------------------------------------------------------------
 
 void BM_NttForward1024(benchmark::State& state) {
   const seal::Modulus q(132120577);
@@ -110,13 +452,51 @@ void BM_VictimSampling64(benchmark::State& state) {
 }
 BENCHMARK(BM_VictimSampling64);
 
+void BM_VictimSampling64Reference(benchmark::State& state) {
+  const core::VictimProgram prog = core::build_sampler_firmware(64, {132120577ULL});
+  riscv::Machine machine(prog.memory_bytes);
+  machine.set_predecode(false);
+  std::uint32_t seed = 1;
+  for (auto _ : state) {
+    auto run = run_victim_reference(prog, machine, seed++);
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_VictimSampling64Reference);
+
+void BM_TemplateScore(benchmark::State& state) {
+  const sca::TemplateSet templates = make_template_set(25, 12, 99);
+  num::Xoshiro256StarStar rng(7);
+  std::vector<double> obs(12);
+  for (double& v : obs) v = rng.gaussian(0.0, 2.0);
+  for (auto _ : state) {
+    auto d = templates.mahalanobis(obs);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_TemplateScore);
+
+void BM_TemplateScoreReference(benchmark::State& state) {
+  const sca::TemplateSet templates = make_template_set(25, 12, 99);
+  num::Xoshiro256StarStar rng(7);
+  std::vector<double> obs(12);
+  for (double& v : obs) v = rng.gaussian(0.0, 2.0);
+  for (auto _ : state) {
+    auto d = templates.mahalanobis_reference(obs);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_TemplateScoreReference);
+
 void BM_CaptureAndSegment(benchmark::State& state) {
   core::CampaignConfig cfg;
   cfg.n = 64;
   core::SamplerCampaign campaign(cfg);
+  core::FullCapture cap;
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    auto cap = campaign.capture(seed++);
+    campaign.capture_into(seed++, cap);
     benchmark::DoNotOptimize(cap);
   }
 }
@@ -156,3 +536,14 @@ void BM_Lll12(benchmark::State& state) {
 BENCHMARK(BM_Lll12);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  if (bench::has_flag(argc, argv, "--json")) {
+    return run_json_harness(bench::has_flag(argc, argv, "--smoke"));
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,7 +4,6 @@
 
 #include "core/campaign_runner.hpp"
 #include "core/parallel.hpp"
-#include "power/trace_recorder.hpp"
 
 namespace reveal::core {
 
@@ -34,9 +33,24 @@ SamplerCampaign::SamplerCampaign(CampaignConfig config)
     : config_(std::move(config)),
       program_(build_campaign_firmware(config_)),
       model_(config_.leakage),
-      machine_(program_.memory_bytes) {}
+      machine_(program_.memory_bytes),
+      recorder_(model_, /*noise_seed=*/0),  // begin_capture() reseeds per capture
+      fault_injector_(config_.faults) {
+  // The firmware's instruction budget bounds the retired-instruction count
+  // and most instructions contribute a handful of samples, so reserving one
+  // budget's worth of samples up front makes even the very first capture
+  // append mostly without reallocating; later captures reuse the high-water
+  // capacity.
+  recorder_.reserve(detail::victim_instruction_limit(program_));
+}
 
 FullCapture SamplerCampaign::capture(std::uint64_t seed) {
+  FullCapture cap;
+  capture_into(seed, cap);
+  return cap;
+}
+
+void SamplerCampaign::capture_into(std::uint64_t seed, FullCapture& out) {
   // Derive the firmware PRNG seed and the measurement-noise seed from the
   // campaign seed; both change per capture, like fresh encryptions observed
   // through a new acquisition.
@@ -44,40 +58,40 @@ FullCapture SamplerCampaign::capture(std::uint64_t seed) {
   auto prng_seed = static_cast<std::uint32_t>(derive() | 1u);  // nonzero
   const std::uint64_t noise_seed = derive();
 
-  power::TraceRecorder recorder(model_, noise_seed);
-  const VictimRun run = run_victim(program_, machine_, prng_seed, &recorder);
+  recorder_.begin_capture(noise_seed);
+  const VictimRun run = run_victim_with(program_, machine_, prng_seed, recorder_);
 
-  FullCapture cap;
-  cap.trace = recorder.take_samples();
+  // Copy (not move) out of the persistent recorder so both buffers keep
+  // their capacity for the next capture.
+  out.trace.assign(recorder_.samples().begin(), recorder_.samples().end());
   if (config_.faults.any()) {
-    const power::FaultInjector injector(config_.faults);
-    cap.trace = injector.apply(std::move(cap.trace), seed);
+    out.trace = fault_injector_.apply(std::move(out.trace), seed);
   }
-  cap.noise = run.noise;
-  cap.segments = sca::segment_trace(cap.trace, config_.segmentation);
+  out.noise = run.noise;
+  out.segments = sca::segment_trace(out.trace, config_.segmentation);
   const double threshold = config_.segmentation.threshold > 0.0
                                ? config_.segmentation.threshold
-                               : sca::auto_threshold(cap.trace);
-  anchor_windows_at_burst_edge(cap.trace, cap.segments, threshold);
+                               : sca::auto_threshold(out.trace);
+  anchor_windows_at_burst_edge(out.trace, out.segments, threshold);
 
+  out.permutation.clear();
   if (program_.shuffled) {
     // The Fisher-Yates divisions create n-1 extra bursts before the
     // sampling loop: the sampling windows are the last n segments. Reorder
     // the ground truth into slot (time) order.
-    cap.permutation = read_permutation(program_, machine_);
-    if (cap.segments.size() == 2 * config_.n - 1) {
-      cap.segments.erase(cap.segments.begin(),
-                         cap.segments.end() - static_cast<std::ptrdiff_t>(config_.n));
+    out.permutation = read_permutation(program_, machine_);
+    if (out.segments.size() == 2 * config_.n - 1) {
+      out.segments.erase(out.segments.begin(),
+                         out.segments.end() - static_cast<std::ptrdiff_t>(config_.n));
     } else {
-      cap.segments.clear();  // unexpected burst count: reject the capture
+      out.segments.clear();  // unexpected burst count: reject the capture
     }
     std::vector<std::int64_t> slot_noise(config_.n, 0);
     for (std::size_t slot = 0; slot < config_.n; ++slot) {
-      slot_noise[slot] = run.noise[cap.permutation[slot]];
+      slot_noise[slot] = run.noise[out.permutation[slot]];
     }
-    cap.noise = std::move(slot_noise);
+    out.noise = std::move(slot_noise);
   }
-  return cap;
 }
 
 std::vector<WindowRecord> SamplerCampaign::collect_windows(std::size_t runs,
@@ -90,13 +104,15 @@ std::vector<WindowRecord> SamplerCampaign::collect_windows(std::size_t runs,
   std::vector<WindowRecord> out;
   out.reserve(runs * config_.n);
   std::size_t skipped = 0;
+  FullCapture cap;
+  std::vector<WindowRecord> windows;
   for (std::size_t r = 0; r < runs; ++r) {
-    const FullCapture cap = capture(seed_base + r);
+    capture_into(seed_base + r, cap);
     if (cap.segments.size() != config_.n) {
       ++skipped;
       continue;
     }
-    std::vector<WindowRecord> windows = windows_from_capture(cap);
+    windows_from_capture(cap, windows);
     for (auto& w : windows) out.push_back(std::move(w));
   }
   if (rejected != nullptr) *rejected = skipped;
@@ -122,20 +138,23 @@ void anchor_windows_at_burst_edge(const std::vector<double>& trace,
 }
 
 std::vector<WindowRecord> windows_from_capture(const FullCapture& capture) {
+  std::vector<WindowRecord> out;
+  windows_from_capture(capture, out);
+  return out;
+}
+
+void windows_from_capture(const FullCapture& capture, std::vector<WindowRecord>& out) {
   if (capture.segments.size() != capture.noise.size())
     throw std::invalid_argument(
         "windows_from_capture: segment count does not match coefficient count");
-  std::vector<WindowRecord> out;
-  out.reserve(capture.segments.size());
+  out.resize(capture.segments.size());
   for (std::size_t i = 0; i < capture.segments.size(); ++i) {
     const auto& seg = capture.segments[i];
-    WindowRecord rec;
-    rec.samples.assign(capture.trace.begin() + static_cast<std::ptrdiff_t>(seg.window_begin),
-                       capture.trace.begin() + static_cast<std::ptrdiff_t>(seg.window_end));
-    rec.true_value = static_cast<std::int32_t>(capture.noise[i]);
-    out.push_back(std::move(rec));
+    out[i].samples.assign(
+        capture.trace.begin() + static_cast<std::ptrdiff_t>(seg.window_begin),
+        capture.trace.begin() + static_cast<std::ptrdiff_t>(seg.window_end));
+    out[i].true_value = static_cast<std::int32_t>(capture.noise[i]);
   }
-  return out;
 }
 
 }  // namespace reveal::core

@@ -11,6 +11,7 @@
 #include "core/victim.hpp"
 #include "power/fault_injector.hpp"
 #include "power/leakage_model.hpp"
+#include "power/trace_recorder.hpp"
 #include "sca/segmentation.hpp"
 #include "sca/trace.hpp"
 
@@ -77,6 +78,14 @@ class SamplerCampaign {
   /// measurement-noise stream; segments the captured trace.
   [[nodiscard]] FullCapture capture(std::uint64_t seed);
 
+  /// capture() into caller-provided storage: every FullCapture field is
+  /// overwritten (bit-identical to capture()), reusing the vectors'
+  /// capacity. Passing the same FullCapture across a campaign's captures
+  /// makes acquisition allocation-free in steady state — the internal
+  /// recorder is persistent and pre-reserved from the firmware's
+  /// instruction budget.
+  void capture_into(std::uint64_t seed, FullCapture& out);
+
   /// Collects labelled windows from `runs` captures (profiling phase).
   /// Captures whose segmentation does not yield exactly n windows are
   /// skipped (counted in `rejected` if non-null). With a resolved
@@ -92,6 +101,8 @@ class SamplerCampaign {
   VictimProgram program_;
   power::LeakageModel model_;
   riscv::Machine machine_;
+  power::TraceRecorder recorder_;       ///< persistent; rearmed per capture
+  power::FaultInjector fault_injector_; ///< no-op when config_.faults is empty
 };
 
 /// Refines segment boundaries: anchors each window at the burst's falling
@@ -104,5 +115,12 @@ void anchor_windows_at_burst_edge(const std::vector<double>& trace,
 
 /// Cuts the (anchored) windows out of a capture.
 [[nodiscard]] std::vector<WindowRecord> windows_from_capture(const FullCapture& capture);
+
+/// windows_from_capture into caller-provided storage: `out` is resized to
+/// the segment count and each record's sample buffer is overwritten in
+/// place, so a profiling loop that passes the same vector every capture
+/// stops allocating once the element buffers have grown to steady state.
+/// Results are bit-identical to the returning overload.
+void windows_from_capture(const FullCapture& capture, std::vector<WindowRecord>& out);
 
 }  // namespace reveal::core

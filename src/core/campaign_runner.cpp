@@ -25,16 +25,23 @@ namespace {
 class CampaignReplicas {
  public:
   CampaignReplicas(const CampaignConfig& config, std::size_t workers)
-      : config_(config), replicas_(std::max<std::size_t>(workers, 1)) {}
+      : config_(config),
+        replicas_(std::max<std::size_t>(workers, 1)),
+        scratch_(replicas_.size()) {}
 
   SamplerCampaign& for_worker(std::size_t w) {
     if (!replicas_[w]) replicas_[w] = std::make_unique<SamplerCampaign>(config_);
     return *replicas_[w];
   }
 
+  /// Per-worker capture scratch: capture_into() reuses its buffers, so a
+  /// worker's acquisition stops allocating after its first few captures.
+  FullCapture& scratch_for(std::size_t w) { return scratch_[w]; }
+
  private:
   CampaignConfig config_;
   std::vector<std::unique_ptr<SamplerCampaign>> replicas_;
+  std::vector<FullCapture> scratch_;
 };
 
 }  // namespace
@@ -44,7 +51,8 @@ std::vector<FullCapture> CampaignRunner::capture_many(
   std::vector<FullCapture> out(seeds.size());
   CampaignReplicas replicas(config, pool_.num_workers());
   pool_.run_indexed(seeds.size(), [&](std::size_t i, std::size_t w) {
-    out[i] = replicas.for_worker(w).capture(seeds[i]);
+    // out[i] is the caller-owned slot — capture straight into it.
+    replicas.for_worker(w).capture_into(seeds[i], out[i]);
   });
   return out;
 }
@@ -64,9 +72,10 @@ std::vector<WindowRecord> CampaignRunner::collect_windows(const CampaignConfig& 
   std::vector<Slot> slots(runs);
   CampaignReplicas replicas(config, pool_.num_workers());
   pool_.run_indexed(runs, [&](std::size_t r, std::size_t w) {
-    const FullCapture cap = replicas.for_worker(w).capture(seed_base + r);
+    FullCapture& cap = replicas.scratch_for(w);
+    replicas.for_worker(w).capture_into(seed_base + r, cap);
     if (cap.segments.size() != config.n) return;
-    slots[r].windows = windows_from_capture(cap);
+    windows_from_capture(cap, slots[r].windows);
     slots[r].ok = true;
   });
 
@@ -116,7 +125,8 @@ RecoveryCampaignResult CampaignRunner::run_recovery_campaign(
   std::vector<HintTally> tallies(worker_slots);
   CampaignReplicas replicas(config, pool_.num_workers());
   pool_.run_indexed(seeds.size(), [&](std::size_t i, std::size_t w) {
-    const FullCapture cap = replicas.for_worker(w).capture(seeds[i]);
+    FullCapture& cap = replicas.scratch_for(w);
+    replicas.for_worker(w).capture_into(seeds[i], cap);
     RobustCaptureResult res =
         attack.attack_capture_robust(cap.trace, config.n, config.segmentation);
     std::vector<HintRecord> records;

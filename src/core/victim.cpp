@@ -367,16 +367,22 @@ VictimProgram build_firmware(std::size_t n, const std::vector<std::uint64_t>& mo
 }
 }  // namespace
 
-VictimRun run_victim(const VictimProgram& program, riscv::Machine& machine,
-                     std::uint32_t seed, riscv::ExecutionObserver* observer) {
+namespace detail {
+
+std::uint64_t victim_instruction_limit(const VictimProgram& program) noexcept {
+  return 2000ULL * program.n * program.poly_count + 10000ULL;
+}
+
+void prepare_victim_run(const VictimProgram& program, riscv::Machine& machine,
+                        std::uint32_t seed) {
   if (seed == 0) throw std::invalid_argument("run_victim: xorshift seed must be nonzero");
   machine.reset();
   machine.load_program(program.words, program.layout.code_base);
   machine.store_word(program.layout.seed_addr, seed);
+}
 
-  // Generous limit: ~400 instructions per coefficient on average.
-  const std::uint64_t limit = 2000ULL * program.n * program.poly_count + 10000ULL;
-  const auto reason = machine.run(limit, observer);
+VictimRun finish_victim_run(const VictimProgram& program, const riscv::Machine& machine,
+                            riscv::Machine::StopReason reason) {
   if (reason == riscv::Machine::StopReason::kTrap)
     throw std::runtime_error("run_victim: machine trapped: " + machine.trap_message());
   if (reason == riscv::Machine::StopReason::kInstrLimit)
@@ -405,6 +411,15 @@ VictimRun run_victim(const VictimProgram& program, riscv::Machine& machine,
     else out.noise[i] = -static_cast<std::int64_t>(q0 - raw);
   }
   return out;
+}
+
+}  // namespace detail
+
+VictimRun run_victim(const VictimProgram& program, riscv::Machine& machine,
+                     std::uint32_t seed, riscv::ExecutionObserver* observer) {
+  detail::prepare_victim_run(program, machine, seed);
+  const auto reason = machine.run(detail::victim_instruction_limit(program), observer);
+  return detail::finish_victim_run(program, machine, reason);
 }
 
 }  // namespace reveal::core

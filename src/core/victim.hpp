@@ -109,10 +109,33 @@ struct VictimRun {
   std::uint64_t instructions = 0;
 };
 
+namespace detail {
+/// Instruction budget of one firmware run (generous: ~400 per coefficient).
+[[nodiscard]] std::uint64_t victim_instruction_limit(const VictimProgram& program) noexcept;
+/// Resets the machine, loads the firmware and writes the PRNG seed.
+void prepare_victim_run(const VictimProgram& program, riscv::Machine& machine,
+                        std::uint32_t seed);
+/// Validates the stop reason and decodes the produced polynomial.
+[[nodiscard]] VictimRun finish_victim_run(const VictimProgram& program,
+                                          const riscv::Machine& machine,
+                                          riscv::Machine::StopReason reason);
+}  // namespace detail
+
 /// Loads the firmware into `machine`, writes `seed`, runs to completion and
 /// decodes the produced polynomial back into signed noise values.
 /// Throws std::runtime_error on trap or instruction-limit overrun.
 VictimRun run_victim(const VictimProgram& program, riscv::Machine& machine,
                      std::uint32_t seed, riscv::ExecutionObserver* observer = nullptr);
+
+/// run_victim with a statically-bound observer: the capture hot path —
+/// Machine::run_with fuses the observer callback into the execute loop, so
+/// per-instruction virtual dispatch disappears. Byte-identical results.
+template <typename ObserverT>
+VictimRun run_victim_with(const VictimProgram& program, riscv::Machine& machine,
+                          std::uint32_t seed, ObserverT& observer) {
+  detail::prepare_victim_run(program, machine, seed);
+  const auto reason = machine.run_with(detail::victim_instruction_limit(program), observer);
+  return detail::finish_victim_run(program, machine, reason);
+}
 
 }  // namespace reveal::core

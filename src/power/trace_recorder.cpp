@@ -25,8 +25,34 @@ void TraceRecorder::on_instruction(const riscv::InstrEvent& event) {
   }
 }
 
+std::vector<double> TraceRecorder::take_samples() noexcept {
+  std::vector<double> out = std::move(samples_);
+  // Leave the recorder reusable instead of holding stale markers/drift from
+  // the capture that was just moved out: a subsequent capture must not see
+  // the previous run's marker stream or start mid-way through its drift
+  // walk. (The noise RNG deliberately keeps advancing; begin_capture()
+  // reseeds it for reproducible reuse.)
+  samples_.clear();
+  markers_.clear();
+  drift_ = 0.0;
+  return out;
+}
+
+void TraceRecorder::begin_capture(std::uint64_t noise_seed) {
+  samples_.clear();
+  markers_.clear();
+  drift_ = 0.0;
+  noise_rng_ = num::Xoshiro256StarStar(noise_seed);
+  for (Watch& w : watches_) w.tag = w.initial_tag;
+}
+
+void TraceRecorder::reserve(std::size_t samples, std::size_t markers) {
+  samples_.reserve(samples);
+  markers_.reserve(markers);
+}
+
 void TraceRecorder::watch_pc(std::uint32_t pc, std::uint32_t tag, bool increment) {
-  watches_.push_back({pc, tag, increment});
+  watches_.push_back({pc, tag, tag, increment});
 }
 
 void TraceRecorder::clear() {

@@ -5,11 +5,6 @@
 
 namespace reveal::riscv {
 
-namespace {
-__extension__ typedef __int128 i128;
-__extension__ typedef unsigned __int128 u128;
-}  // namespace
-
 std::uint32_t TimingModel::cycles_for(InstrClass klass, bool taken) const noexcept {
   switch (klass) {
     case InstrClass::kAlu: return alu;
@@ -35,6 +30,32 @@ void Machine::load_program(const std::vector<std::uint32_t>& words, std::uint32_
     std::memcpy(memory_.data() + address + i * 4, &words[i], 4);
   }
   pc_ = address;
+  // Cover the program region with the predecode cache. An unaligned base
+  // cannot be word-indexed; execution there traps on fetch anyway.
+  if ((address & 3u) == 0 && !words.empty()) {
+    icache_base_ = address;
+    icache_end_ = address + static_cast<std::uint32_t>(words.size() * 4);
+    icache_.assign(words.size(), DecodedInstr{});
+    if (predecode_) rebuild_icache();
+  } else {
+    icache_.clear();
+    icache_base_ = icache_end_ = 0;
+  }
+}
+
+void Machine::rebuild_icache() {
+  for (std::size_t i = 0; i < icache_.size(); ++i) {
+    std::uint32_t word;
+    std::memcpy(&word, memory_.data() + icache_base_ + i * 4, 4);
+    icache_[i] = make_entry(word);
+  }
+}
+
+void Machine::set_predecode(bool enabled) {
+  predecode_ = enabled;
+  // Stores always invalidate affected entries, so a rebuild on re-enable
+  // picks up any self-modification that happened while disabled.
+  if (enabled && !icache_.empty()) rebuild_icache();
 }
 
 std::uint32_t Machine::load_word(std::uint32_t address) const {
@@ -49,6 +70,7 @@ void Machine::store_word(std::uint32_t address, std::uint32_t value) {
   if ((address & 3u) != 0 || !in_bounds(address, 4))
     throw std::out_of_range("Machine::store_word: bad address");
   std::memcpy(memory_.data() + address, &value, 4);
+  invalidate_icache_word(address);
 }
 
 void Machine::reset() noexcept {
@@ -69,204 +91,23 @@ bool Machine::trap(const std::string& message) {
 
 Machine::StopReason Machine::run(std::uint64_t max_instructions,
                                  ExecutionObserver* observer) {
+  if (observer == nullptr) {
+    NullExecutionObserver null_observer;
+    return run_with(max_instructions, null_observer);
+  }
+  return run_with(max_instructions, *observer);
+}
+
+Machine::StopReason Machine::run_reference(std::uint64_t max_instructions,
+                                           ExecutionObserver* observer) {
   halted_ = false;
   trapped_ = false;
   for (std::uint64_t i = 0; i < max_instructions; ++i) {
-    if (!step(observer)) {
+    if (!step_impl<ExecutionObserver, /*kUseCache=*/false>(observer)) {
       return trapped_ ? StopReason::kTrap : StopReason::kHalt;
     }
   }
   return StopReason::kInstrLimit;
-}
-
-bool Machine::step(ExecutionObserver* observer) {
-  if ((pc_ & 3u) != 0 || !in_bounds(pc_, 4)) return trap("instruction fetch fault");
-  std::uint32_t word;
-  std::memcpy(&word, memory_.data() + pc_, 4);
-  const Instruction ins = decode(word);
-  if (ins.op == Op::kInvalid) return trap("illegal instruction");
-
-  InstrEvent ev;
-  ev.pc = pc_;
-  ev.op = ins.op;
-  ev.klass = classify(ins.op);
-  ev.rd = ins.rd;
-  ev.rs1_val = regs_[ins.rs1];
-  ev.rs2_val = regs_[ins.rs2];
-
-  const std::uint32_t rs1 = ev.rs1_val;
-  const std::uint32_t rs2 = ev.rs2_val;
-  const auto srs1 = static_cast<std::int32_t>(rs1);
-  const auto srs2 = static_cast<std::int32_t>(rs2);
-  std::uint32_t next_pc = pc_ + 4;
-  std::uint32_t rd_value = 0;
-  bool write_rd = false;
-
-  auto mem_load = [&](std::uint32_t addr, std::uint32_t size, bool sign) -> bool {
-    if (!in_bounds(addr, size) || (size > 1 && (addr & (size - 1)) != 0)) {
-      trap("load access fault");
-      return false;
-    }
-    std::uint32_t raw = 0;
-    std::memcpy(&raw, memory_.data() + addr, size);
-    if (sign) {
-      if (size == 1) raw = static_cast<std::uint32_t>(static_cast<std::int8_t>(raw));
-      else if (size == 2) raw = static_cast<std::uint32_t>(static_cast<std::int16_t>(raw));
-    }
-    rd_value = raw;
-    write_rd = true;
-    ev.mem_addr = addr;
-    ev.mem_data = raw;
-    ev.is_mem_read = true;
-    return true;
-  };
-
-  auto mem_store = [&](std::uint32_t addr, std::uint32_t size) -> bool {
-    if (!in_bounds(addr, size) || (size > 1 && (addr & (size - 1)) != 0)) {
-      trap("store access fault");
-      return false;
-    }
-    std::memcpy(memory_.data() + addr, &rs2, size);
-    ev.mem_addr = addr;
-    ev.mem_data = size == 4 ? rs2 : (rs2 & ((1u << (size * 8)) - 1u));
-    ev.is_mem_write = true;
-    return true;
-  };
-
-  switch (ins.op) {
-    case Op::kLui: rd_value = static_cast<std::uint32_t>(ins.imm); write_rd = true; break;
-    case Op::kAuipc:
-      rd_value = pc_ + static_cast<std::uint32_t>(ins.imm);
-      write_rd = true;
-      break;
-    case Op::kJal:
-      rd_value = pc_ + 4;
-      write_rd = true;
-      next_pc = pc_ + static_cast<std::uint32_t>(ins.imm);
-      break;
-    case Op::kJalr:
-      rd_value = pc_ + 4;
-      write_rd = true;
-      next_pc = (rs1 + static_cast<std::uint32_t>(ins.imm)) & ~1u;
-      break;
-    case Op::kBeq: ev.branch_taken = rs1 == rs2; break;
-    case Op::kBne: ev.branch_taken = rs1 != rs2; break;
-    case Op::kBlt: ev.branch_taken = srs1 < srs2; break;
-    case Op::kBge: ev.branch_taken = srs1 >= srs2; break;
-    case Op::kBltu: ev.branch_taken = rs1 < rs2; break;
-    case Op::kBgeu: ev.branch_taken = rs1 >= rs2; break;
-    case Op::kLb: if (!mem_load(rs1 + static_cast<std::uint32_t>(ins.imm), 1, true)) return false; break;
-    case Op::kLh: if (!mem_load(rs1 + static_cast<std::uint32_t>(ins.imm), 2, true)) return false; break;
-    case Op::kLw: if (!mem_load(rs1 + static_cast<std::uint32_t>(ins.imm), 4, false)) return false; break;
-    case Op::kLbu: if (!mem_load(rs1 + static_cast<std::uint32_t>(ins.imm), 1, false)) return false; break;
-    case Op::kLhu: if (!mem_load(rs1 + static_cast<std::uint32_t>(ins.imm), 2, false)) return false; break;
-    case Op::kSb: if (!mem_store(rs1 + static_cast<std::uint32_t>(ins.imm), 1)) return false; break;
-    case Op::kSh: if (!mem_store(rs1 + static_cast<std::uint32_t>(ins.imm), 2)) return false; break;
-    case Op::kSw: if (!mem_store(rs1 + static_cast<std::uint32_t>(ins.imm), 4)) return false; break;
-    case Op::kAddi: rd_value = rs1 + static_cast<std::uint32_t>(ins.imm); write_rd = true; break;
-    case Op::kSlti: rd_value = srs1 < ins.imm ? 1 : 0; write_rd = true; break;
-    case Op::kSltiu:
-      rd_value = rs1 < static_cast<std::uint32_t>(ins.imm) ? 1 : 0;
-      write_rd = true;
-      break;
-    case Op::kXori: rd_value = rs1 ^ static_cast<std::uint32_t>(ins.imm); write_rd = true; break;
-    case Op::kOri: rd_value = rs1 | static_cast<std::uint32_t>(ins.imm); write_rd = true; break;
-    case Op::kAndi: rd_value = rs1 & static_cast<std::uint32_t>(ins.imm); write_rd = true; break;
-    case Op::kSlli: rd_value = rs1 << (ins.imm & 31); write_rd = true; break;
-    case Op::kSrli: rd_value = rs1 >> (ins.imm & 31); write_rd = true; break;
-    case Op::kSrai:
-      rd_value = static_cast<std::uint32_t>(srs1 >> (ins.imm & 31));
-      write_rd = true;
-      break;
-    case Op::kAdd: rd_value = rs1 + rs2; write_rd = true; break;
-    case Op::kSub: rd_value = rs1 - rs2; write_rd = true; break;
-    case Op::kSll: rd_value = rs1 << (rs2 & 31); write_rd = true; break;
-    case Op::kSlt: rd_value = srs1 < srs2 ? 1 : 0; write_rd = true; break;
-    case Op::kSltu: rd_value = rs1 < rs2 ? 1 : 0; write_rd = true; break;
-    case Op::kXor: rd_value = rs1 ^ rs2; write_rd = true; break;
-    case Op::kSrl: rd_value = rs1 >> (rs2 & 31); write_rd = true; break;
-    case Op::kSra: rd_value = static_cast<std::uint32_t>(srs1 >> (rs2 & 31)); write_rd = true; break;
-    case Op::kOr: rd_value = rs1 | rs2; write_rd = true; break;
-    case Op::kAnd: rd_value = rs1 & rs2; write_rd = true; break;
-    case Op::kMul:
-      rd_value = static_cast<std::uint32_t>(static_cast<std::int64_t>(srs1) * srs2);
-      write_rd = true;
-      break;
-    case Op::kMulh:
-      rd_value = static_cast<std::uint32_t>(
-          (static_cast<std::int64_t>(srs1) * static_cast<std::int64_t>(srs2)) >> 32);
-      write_rd = true;
-      break;
-    case Op::kMulhsu:
-      rd_value = static_cast<std::uint32_t>(
-          (static_cast<i128>(srs1) * static_cast<i128>(rs2)) >> 32);
-      write_rd = true;
-      break;
-    case Op::kMulhu:
-      rd_value = static_cast<std::uint32_t>(
-          (static_cast<std::uint64_t>(rs1) * static_cast<std::uint64_t>(rs2)) >> 32);
-      write_rd = true;
-      break;
-    case Op::kDiv:
-      if (rs2 == 0) rd_value = ~0u;
-      else if (srs1 == INT32_MIN && srs2 == -1) rd_value = static_cast<std::uint32_t>(INT32_MIN);
-      else rd_value = static_cast<std::uint32_t>(srs1 / srs2);
-      write_rd = true;
-      break;
-    case Op::kDivu:
-      rd_value = rs2 == 0 ? ~0u : rs1 / rs2;
-      write_rd = true;
-      break;
-    case Op::kRem:
-      if (rs2 == 0) rd_value = rs1;
-      else if (srs1 == INT32_MIN && srs2 == -1) rd_value = 0;
-      else rd_value = static_cast<std::uint32_t>(srs1 % srs2);
-      write_rd = true;
-      break;
-    case Op::kRemu:
-      rd_value = rs2 == 0 ? rs1 : rs1 % rs2;
-      write_rd = true;
-      break;
-    case Op::kFence: break;
-    case Op::kCsrrs: {
-      // Zicntr: rdcycle (0xC00), rdinstret (0xC02) and their high halves.
-      if (ins.rs1 != 0) return trap("unsupported CSR write");
-      const auto csr = static_cast<std::uint32_t>(ins.imm) & 0xFFFu;
-      std::uint64_t value = 0;
-      switch (csr) {
-        case 0xC00: value = cycles_; break;                // cycle
-        case 0xC02: value = retired_; break;               // instret
-        case 0xC80: value = cycles_ >> 32; break;          // cycleh
-        case 0xC82: value = retired_ >> 32; break;         // instreth
-        default: return trap("unsupported CSR");
-      }
-      rd_value = static_cast<std::uint32_t>(value);
-      write_rd = true;
-      break;
-    }
-    case Op::kEcall:
-    case Op::kEbreak:
-      halted_ = true;
-      break;
-    case Op::kInvalid:
-      return trap("illegal instruction");
-  }
-
-  if (ev.branch_taken) next_pc = pc_ + static_cast<std::uint32_t>(ins.imm);
-
-  if (write_rd && ins.rd != 0) {
-    ev.rd_old = regs_[ins.rd];
-    regs_[ins.rd] = rd_value;
-    ev.rd_new = rd_value;
-    ev.rd_written = true;
-  }
-
-  ev.cycles = timing_.cycles_for(ev.klass, ev.branch_taken);
-  cycles_ += ev.cycles;
-  ++retired_;
-  pc_ = next_pc;
-  if (observer != nullptr) observer->on_instruction(ev);
-  return !halted_;
 }
 
 }  // namespace reveal::riscv

@@ -2,8 +2,19 @@
 // RV32IM instruction-set simulator with a PicoRV32-style multi-cycle timing
 // model and an observer hook that reports per-instruction micro-architectural
 // activity (register/bus toggles) — the raw material for the power model.
+//
+// Hot path: load_program() predecodes the program region into a cache of
+// decoded instructions (class and cycle costs included), so the execute loop
+// skips decode()/classify()/cycles_for() per retirement. Stores into the
+// program region invalidate the affected cache word, and invalidated words
+// re-decode lazily on the next fetch, so self-modifying code behaves exactly
+// like the decode-per-step reference (pinned by the differential fuzz in
+// tests/test_fast_path.cpp). run_with() additionally binds the observer
+// statically, eliminating the virtual dispatch of run() — with a
+// NullExecutionObserver the event construction folds away entirely.
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -55,6 +66,12 @@ class ExecutionObserver {
   virtual void on_instruction(const InstrEvent& event) = 0;
 };
 
+/// Statically-dispatched no-op observer for run_with(): the inlined empty
+/// callback lets the compiler discard the whole InstrEvent construction.
+struct NullExecutionObserver {
+  void on_instruction(const InstrEvent&) noexcept {}
+};
+
 class Machine {
  public:
   enum class StopReason { kHalt, kInstrLimit, kTrap };
@@ -62,7 +79,9 @@ class Machine {
   explicit Machine(std::size_t memory_bytes = 256 * 1024,
                    TimingModel timing = TimingModel{});
 
-  /// Copies program words to `address` and sets the pc there.
+  /// Copies program words to `address`, sets the pc there, and (when
+  /// predecoding is enabled) rebuilds the decoded-instruction cache over
+  /// the program region.
   void load_program(const std::vector<std::uint32_t>& words, std::uint32_t address = 0);
 
   [[nodiscard]] std::uint32_t reg(Reg r) const noexcept { return regs_[index(r)]; }
@@ -72,29 +91,95 @@ class Machine {
   [[nodiscard]] std::uint32_t pc() const noexcept { return pc_; }
   void set_pc(std::uint32_t pc) noexcept { pc_ = pc; }
 
-  /// Word-aligned direct memory access for the host (throws on OOB).
+  /// Word-aligned direct memory access for the host (throws on OOB). Host
+  /// stores into the program region invalidate the predecode cache word.
   [[nodiscard]] std::uint32_t load_word(std::uint32_t address) const;
   void store_word(std::uint32_t address, std::uint32_t value);
 
   /// Executes until EBREAK/ECALL, the instruction limit, or a trap.
+  /// Dispatches the observer virtually; a null observer takes the fused
+  /// no-observer fast path.
   StopReason run(std::uint64_t max_instructions, ExecutionObserver* observer = nullptr);
+
+  /// Fused run loop: the observer callback binds statically (no virtual
+  /// dispatch per retirement). Semantics are identical to run() — same
+  /// InstrEvent stream, cycles, and trap behaviour.
+  template <typename ObserverT>
+  StopReason run_with(std::uint64_t max_instructions, ObserverT& observer) {
+    halted_ = false;
+    trapped_ = false;
+    for (std::uint64_t i = 0; i < max_instructions; ++i) {
+      if (!step_impl(&observer)) {
+        return trapped_ ? StopReason::kTrap : StopReason::kHalt;
+      }
+    }
+    return StopReason::kInstrLimit;
+  }
+
+  /// Decode-per-step reference loop (the pre-predecode execution path):
+  /// ignores the instruction cache and dispatches the observer virtually.
+  /// Kept as the anchor for the differential fuzz tests and as the
+  /// benchmark baseline; produces byte-identical results to run()/run_with().
+  StopReason run_reference(std::uint64_t max_instructions,
+                           ExecutionObserver* observer = nullptr);
+
+  /// Enables/disables the predecoded-instruction fast path (default on).
+  /// Disabling decodes every fetched word from memory again, like the
+  /// reference loop; re-enabling rebuilds the cache from current memory.
+  void set_predecode(bool enabled);
+  [[nodiscard]] bool predecode_enabled() const noexcept { return predecode_; }
 
   [[nodiscard]] std::uint64_t cycle_count() const noexcept { return cycles_; }
   [[nodiscard]] std::uint64_t retired_count() const noexcept { return retired_; }
   [[nodiscard]] const std::string& trap_message() const noexcept { return trap_message_; }
   [[nodiscard]] const TimingModel& timing() const noexcept { return timing_; }
 
-  /// Resets registers, pc and counters (memory is preserved).
+  /// Resets registers, pc and counters (memory and the predecode cache are
+  /// preserved).
   void reset() noexcept;
 
  private:
-  /// Executes one instruction; returns false to stop (halt or trap).
-  bool step(ExecutionObserver* observer);
+  /// One predecoded program word: the decoded instruction plus everything
+  /// the execute loop would otherwise recompute per retirement.
+  struct DecodedInstr {
+    Instruction ins{};
+    InstrClass klass = InstrClass::kSystem;
+    std::uint32_t cycles_taken = 0;
+    std::uint32_t cycles_not_taken = 0;
+    bool valid = false;
+  };
 
   [[nodiscard]] bool in_bounds(std::uint32_t address, std::uint32_t size) const noexcept {
     return static_cast<std::uint64_t>(address) + size <= memory_.size();
   }
   bool trap(const std::string& message);
+
+  [[nodiscard]] DecodedInstr make_entry(std::uint32_t word) const noexcept {
+    DecodedInstr d;
+    d.ins = decode(word);
+    d.valid = true;
+    if (d.ins.op != Op::kInvalid) {
+      d.klass = classify(d.ins.op);
+      d.cycles_taken = timing_.cycles_for(d.klass, true);
+      d.cycles_not_taken = timing_.cycles_for(d.klass, false);
+    }
+    return d;
+  }
+
+  /// Drops the cache entry covering a stored-to program word (no-op when
+  /// the address is outside the cached region).
+  void invalidate_icache_word(std::uint32_t address) noexcept {
+    if (!icache_.empty() && address >= icache_base_ && address < icache_end_) {
+      icache_[(address - icache_base_) >> 2].valid = false;
+    }
+  }
+
+  void rebuild_icache();
+
+  /// Executes one instruction; returns false to stop (halt or trap).
+  /// `kUseCache = false` forces the decode-per-step reference behaviour.
+  template <typename ObserverT, bool kUseCache = true>
+  bool step_impl(ObserverT* observer);
 
   std::vector<std::uint8_t> memory_;
   std::uint32_t regs_[32] = {};
@@ -105,6 +190,227 @@ class Machine {
   bool trapped_ = false;
   std::string trap_message_;
   TimingModel timing_;
+  std::vector<DecodedInstr> icache_;
+  std::uint32_t icache_base_ = 0;  ///< byte address of icache_[0] (word aligned)
+  std::uint32_t icache_end_ = 0;   ///< one past the cached byte range
+  bool predecode_ = true;
 };
+
+namespace detail {
+__extension__ typedef __int128 machine_i128;
+}  // namespace detail
+
+template <typename ObserverT, bool kUseCache>
+bool Machine::step_impl(ObserverT* observer) {
+  if ((pc_ & 3u) != 0 || !in_bounds(pc_, 4)) return trap("instruction fetch fault");
+  Instruction ins;
+  InstrClass klass;
+  std::uint32_t cyc_taken;
+  std::uint32_t cyc_not_taken;
+  if (kUseCache && predecode_ && pc_ >= icache_base_ && pc_ < icache_end_) {
+    DecodedInstr& entry = icache_[(pc_ - icache_base_) >> 2];
+    if (!entry.valid) {
+      std::uint32_t word;
+      std::memcpy(&word, memory_.data() + pc_, 4);
+      entry = make_entry(word);
+    }
+    ins = entry.ins;
+    if (ins.op == Op::kInvalid) return trap("illegal instruction");
+    klass = entry.klass;
+    cyc_taken = entry.cycles_taken;
+    cyc_not_taken = entry.cycles_not_taken;
+  } else {
+    std::uint32_t word;
+    std::memcpy(&word, memory_.data() + pc_, 4);
+    ins = decode(word);
+    if (ins.op == Op::kInvalid) return trap("illegal instruction");
+    klass = classify(ins.op);
+    cyc_taken = timing_.cycles_for(klass, true);
+    cyc_not_taken = timing_.cycles_for(klass, false);
+  }
+
+  InstrEvent ev;
+  ev.pc = pc_;
+  ev.op = ins.op;
+  ev.klass = klass;
+  ev.rd = ins.rd;
+  ev.rs1_val = regs_[ins.rs1];
+  ev.rs2_val = regs_[ins.rs2];
+
+  const std::uint32_t rs1 = ev.rs1_val;
+  const std::uint32_t rs2 = ev.rs2_val;
+  const auto srs1 = static_cast<std::int32_t>(rs1);
+  const auto srs2 = static_cast<std::int32_t>(rs2);
+  std::uint32_t next_pc = pc_ + 4;
+  std::uint32_t rd_value = 0;
+  bool write_rd = false;
+
+  auto mem_load = [&](std::uint32_t addr, std::uint32_t size, bool sign) -> bool {
+    if (!in_bounds(addr, size) || (size > 1 && (addr & (size - 1)) != 0)) {
+      trap("load access fault");
+      return false;
+    }
+    std::uint32_t raw = 0;
+    std::memcpy(&raw, memory_.data() + addr, size);
+    if (sign) {
+      if (size == 1) raw = static_cast<std::uint32_t>(static_cast<std::int8_t>(raw));
+      else if (size == 2) raw = static_cast<std::uint32_t>(static_cast<std::int16_t>(raw));
+    }
+    rd_value = raw;
+    write_rd = true;
+    ev.mem_addr = addr;
+    ev.mem_data = raw;
+    ev.is_mem_read = true;
+    return true;
+  };
+
+  auto mem_store = [&](std::uint32_t addr, std::uint32_t size) -> bool {
+    if (!in_bounds(addr, size) || (size > 1 && (addr & (size - 1)) != 0)) {
+      trap("store access fault");
+      return false;
+    }
+    std::memcpy(memory_.data() + addr, &rs2, size);
+    invalidate_icache_word(addr);
+    ev.mem_addr = addr;
+    ev.mem_data = size == 4 ? rs2 : (rs2 & ((1u << (size * 8)) - 1u));
+    ev.is_mem_write = true;
+    return true;
+  };
+
+  switch (ins.op) {
+    case Op::kLui: rd_value = static_cast<std::uint32_t>(ins.imm); write_rd = true; break;
+    case Op::kAuipc:
+      rd_value = pc_ + static_cast<std::uint32_t>(ins.imm);
+      write_rd = true;
+      break;
+    case Op::kJal:
+      rd_value = pc_ + 4;
+      write_rd = true;
+      next_pc = pc_ + static_cast<std::uint32_t>(ins.imm);
+      break;
+    case Op::kJalr:
+      rd_value = pc_ + 4;
+      write_rd = true;
+      next_pc = (rs1 + static_cast<std::uint32_t>(ins.imm)) & ~1u;
+      break;
+    case Op::kBeq: ev.branch_taken = rs1 == rs2; break;
+    case Op::kBne: ev.branch_taken = rs1 != rs2; break;
+    case Op::kBlt: ev.branch_taken = srs1 < srs2; break;
+    case Op::kBge: ev.branch_taken = srs1 >= srs2; break;
+    case Op::kBltu: ev.branch_taken = rs1 < rs2; break;
+    case Op::kBgeu: ev.branch_taken = rs1 >= rs2; break;
+    case Op::kLb: if (!mem_load(rs1 + static_cast<std::uint32_t>(ins.imm), 1, true)) return false; break;
+    case Op::kLh: if (!mem_load(rs1 + static_cast<std::uint32_t>(ins.imm), 2, true)) return false; break;
+    case Op::kLw: if (!mem_load(rs1 + static_cast<std::uint32_t>(ins.imm), 4, false)) return false; break;
+    case Op::kLbu: if (!mem_load(rs1 + static_cast<std::uint32_t>(ins.imm), 1, false)) return false; break;
+    case Op::kLhu: if (!mem_load(rs1 + static_cast<std::uint32_t>(ins.imm), 2, false)) return false; break;
+    case Op::kSb: if (!mem_store(rs1 + static_cast<std::uint32_t>(ins.imm), 1)) return false; break;
+    case Op::kSh: if (!mem_store(rs1 + static_cast<std::uint32_t>(ins.imm), 2)) return false; break;
+    case Op::kSw: if (!mem_store(rs1 + static_cast<std::uint32_t>(ins.imm), 4)) return false; break;
+    case Op::kAddi: rd_value = rs1 + static_cast<std::uint32_t>(ins.imm); write_rd = true; break;
+    case Op::kSlti: rd_value = srs1 < ins.imm ? 1 : 0; write_rd = true; break;
+    case Op::kSltiu:
+      rd_value = rs1 < static_cast<std::uint32_t>(ins.imm) ? 1 : 0;
+      write_rd = true;
+      break;
+    case Op::kXori: rd_value = rs1 ^ static_cast<std::uint32_t>(ins.imm); write_rd = true; break;
+    case Op::kOri: rd_value = rs1 | static_cast<std::uint32_t>(ins.imm); write_rd = true; break;
+    case Op::kAndi: rd_value = rs1 & static_cast<std::uint32_t>(ins.imm); write_rd = true; break;
+    case Op::kSlli: rd_value = rs1 << (ins.imm & 31); write_rd = true; break;
+    case Op::kSrli: rd_value = rs1 >> (ins.imm & 31); write_rd = true; break;
+    case Op::kSrai:
+      rd_value = static_cast<std::uint32_t>(srs1 >> (ins.imm & 31));
+      write_rd = true;
+      break;
+    case Op::kAdd: rd_value = rs1 + rs2; write_rd = true; break;
+    case Op::kSub: rd_value = rs1 - rs2; write_rd = true; break;
+    case Op::kSll: rd_value = rs1 << (rs2 & 31); write_rd = true; break;
+    case Op::kSlt: rd_value = srs1 < srs2 ? 1 : 0; write_rd = true; break;
+    case Op::kSltu: rd_value = rs1 < rs2 ? 1 : 0; write_rd = true; break;
+    case Op::kXor: rd_value = rs1 ^ rs2; write_rd = true; break;
+    case Op::kSrl: rd_value = rs1 >> (rs2 & 31); write_rd = true; break;
+    case Op::kSra: rd_value = static_cast<std::uint32_t>(srs1 >> (rs2 & 31)); write_rd = true; break;
+    case Op::kOr: rd_value = rs1 | rs2; write_rd = true; break;
+    case Op::kAnd: rd_value = rs1 & rs2; write_rd = true; break;
+    case Op::kMul:
+      rd_value = static_cast<std::uint32_t>(static_cast<std::int64_t>(srs1) * srs2);
+      write_rd = true;
+      break;
+    case Op::kMulh:
+      rd_value = static_cast<std::uint32_t>(
+          (static_cast<std::int64_t>(srs1) * static_cast<std::int64_t>(srs2)) >> 32);
+      write_rd = true;
+      break;
+    case Op::kMulhsu:
+      rd_value = static_cast<std::uint32_t>(
+          (static_cast<detail::machine_i128>(srs1) * static_cast<detail::machine_i128>(rs2)) >> 32);
+      write_rd = true;
+      break;
+    case Op::kMulhu:
+      rd_value = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(rs1) * static_cast<std::uint64_t>(rs2)) >> 32);
+      write_rd = true;
+      break;
+    case Op::kDiv:
+      if (rs2 == 0) rd_value = ~0u;
+      else if (srs1 == INT32_MIN && srs2 == -1) rd_value = static_cast<std::uint32_t>(INT32_MIN);
+      else rd_value = static_cast<std::uint32_t>(srs1 / srs2);
+      write_rd = true;
+      break;
+    case Op::kDivu:
+      rd_value = rs2 == 0 ? ~0u : rs1 / rs2;
+      write_rd = true;
+      break;
+    case Op::kRem:
+      if (rs2 == 0) rd_value = rs1;
+      else if (srs1 == INT32_MIN && srs2 == -1) rd_value = 0;
+      else rd_value = static_cast<std::uint32_t>(srs1 % srs2);
+      write_rd = true;
+      break;
+    case Op::kRemu:
+      rd_value = rs2 == 0 ? rs1 : rs1 % rs2;
+      write_rd = true;
+      break;
+    case Op::kFence: break;
+    case Op::kCsrrs: {
+      // Zicntr: rdcycle (0xC00), rdinstret (0xC02) and their high halves.
+      if (ins.rs1 != 0) return trap("unsupported CSR write");
+      const auto csr = static_cast<std::uint32_t>(ins.imm) & 0xFFFu;
+      std::uint64_t value = 0;
+      switch (csr) {
+        case 0xC00: value = cycles_; break;                // cycle
+        case 0xC02: value = retired_; break;               // instret
+        case 0xC80: value = cycles_ >> 32; break;          // cycleh
+        case 0xC82: value = retired_ >> 32; break;         // instreth
+        default: return trap("unsupported CSR");
+      }
+      rd_value = static_cast<std::uint32_t>(value);
+      write_rd = true;
+      break;
+    }
+    case Op::kEcall:
+    case Op::kEbreak:
+      halted_ = true;
+      break;
+    case Op::kInvalid:
+      return trap("illegal instruction");
+  }
+
+  if (ev.branch_taken) next_pc = pc_ + static_cast<std::uint32_t>(ins.imm);
+
+  if (write_rd && ins.rd != 0) {
+    ev.rd_old = regs_[ins.rd];
+    regs_[ins.rd] = rd_value;
+    ev.rd_new = rd_value;
+    ev.rd_written = true;
+  }
+
+  ev.cycles = ev.branch_taken ? cyc_taken : cyc_not_taken;
+  cycles_ += ev.cycles;
+  ++retired_;
+  pc_ = next_pc;
+  if (observer != nullptr) observer->on_instruction(ev);
+  return !halted_;
+}
 
 }  // namespace reveal::riscv

@@ -7,6 +7,20 @@
 // guards against degenerate POIs). TemplateSet::log_scores returns the
 // per-class log-likelihoods of an observation; posterior() turns them into
 // probabilities — the raw material for the "LWE with hints" integration.
+//
+// Scoring is factored for the single-trace hot path: with A = Σ⁻¹ the
+// squared Mahalanobis distance expands to
+//
+//   (x-μ_c)ᵀ A (x-μ_c) = xᵀy - 2 u_cᵀx + t_c,   y = A x,
+//
+// where u_c = A μ_c and t_c = μ_cᵀ u_c are precomputed per class at
+// construction. One O(d²) matvec (y) is shared by all classes; each class
+// then scores in O(d) instead of O(d²). log_scores / mahalanobis /
+// posterior / classify all route through this single kernel (scratch is
+// thread-local, so concurrent scoring from campaign workers stays safe and
+// allocation-free in steady state). The pre-factorization per-class loops
+// survive only as *_reference — the anchor for the equivalence tests and
+// the benchmark baseline.
 
 #include <cstdint>
 #include <map>
@@ -54,9 +68,27 @@ class TemplateSet {
   /// Labels in template order.
   [[nodiscard]] std::vector<std::int32_t> labels() const;
 
+  /// Pre-factorization O(d²)-per-class scoring (diff-then-quadratic-form,
+  /// bit-for-bit the seed implementation). Kept as the differential-test
+  /// anchor and the bench_perf baseline — not for production paths.
+  [[nodiscard]] std::vector<double> mahalanobis_reference(
+      const std::vector<double>& observation) const;
+  [[nodiscard]] std::vector<double> log_scores_reference(
+      const std::vector<double>& observation) const;
+
  private:
+  /// The one shared scoring kernel: writes the squared Mahalanobis distance
+  /// of `observation` to every class into `out` via the factored form above.
+  void mahalanobis_into(const std::vector<double>& observation,
+                        std::vector<double>& out) const;
+  /// Shared kernel of the *_reference entry points (the seed loops).
+  void mahalanobis_reference_into(const std::vector<double>& observation,
+                                  std::vector<double>& out) const;
+
   std::vector<ClassTemplate> classes_;
   num::Matrix inv_covariance_;
+  std::vector<double> sigma_inv_mu_;     ///< classes() x dim, row-major: u_c
+  std::vector<double> mu_sigma_inv_mu_;  ///< per class: t_c
   double log_det_ = 0.0;
   std::size_t dim_ = 0;
 };

@@ -133,6 +133,51 @@ TEST(TraceRecorder, ClearResets) {
   EXPECT_TRUE(recorder.samples().empty());
 }
 
+TEST(TraceRecorder, TakeSamplesLeavesRecorderReusable) {
+  // Regression: take_samples() used to only move the buffer out, leaving
+  // the markers of the taken capture and a mid-walk drift value behind to
+  // contaminate the next recording.
+  power::LeakageParams p;
+  p.noise_sigma = 0.2;
+  p.drift_sigma = 0.05;  // exercises the drift random walk
+  const power::LeakageModel model(p);
+  power::TraceRecorder recorder(model, 9);
+  recorder.watch_pc(0, 5);
+  recorder.on_instruction(make_alu_event(0, 1));
+  const std::vector<double> first = recorder.take_samples();
+  EXPECT_FALSE(first.empty());
+  EXPECT_TRUE(recorder.samples().empty());
+  EXPECT_TRUE(recorder.markers().empty());  // stale markers are gone
+
+  // Rearming with the same seed must reproduce the first capture
+  // bit-for-bit (drift restarts at zero, noise stream reseeded, the
+  // auto-increment watch tag rewinds).
+  recorder.begin_capture(9);
+  recorder.on_instruction(make_alu_event(0, 1));
+  EXPECT_EQ(recorder.samples(), first);
+  ASSERT_EQ(recorder.markers().size(), 1u);
+  EXPECT_EQ(recorder.markers()[0].tag, 5u);
+}
+
+TEST(TraceRecorder, ReusedRecorderMatchesFreshRecorder) {
+  power::LeakageParams p;
+  p.noise_sigma = 0.3;
+  p.drift_sigma = 0.02;
+  const power::LeakageModel model(p);
+
+  power::TraceRecorder reused(model, 1);
+  for (std::uint64_t seed = 2; seed <= 4; ++seed) {
+    power::TraceRecorder fresh(model, seed);
+    reused.begin_capture(seed);
+    for (int i = 0; i < 16; ++i) {
+      fresh.on_instruction(make_alu_event(static_cast<std::uint32_t>(i), 1));
+      reused.on_instruction(make_alu_event(static_cast<std::uint32_t>(i), 1));
+    }
+    EXPECT_EQ(reused.samples(), fresh.samples()) << "seed " << seed;
+    (void)reused.take_samples();
+  }
+}
+
 TEST(Scope, GainAndOffset) {
   power::ScopeParams sp;
   sp.gain = 2.0;
