@@ -36,9 +36,13 @@
 #include "lattice/lattice.hpp"
 #include "numeric/matrix.hpp"
 #include "numeric/rng.hpp"
+#include "sca/alignment.hpp"
+#include "sca/class_stats.hpp"
+#include "sca/poi.hpp"
 #include "sca/segmentation.hpp"
 #include "sca/template_attack.hpp"
 #include "sca/trace.hpp"
+#include "sca/tvla.hpp"
 #include "seal/decryptor.hpp"
 #include "seal/encryptor.hpp"
 #include "seal/keys.hpp"
@@ -201,12 +205,98 @@ bool golden_identity_gate() {
 }
 
 // --------------------------------------------------------------------------
+// Analysis-plane leg inputs
+// --------------------------------------------------------------------------
+
+bool segments_equal(const std::vector<sca::Segment>& a,
+                    const std::vector<sca::Segment>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].burst_begin != b[i].burst_begin || a[i].burst_end != b[i].burst_end ||
+        a[i].window_begin != b[i].window_begin || a[i].window_end != b[i].window_end)
+      return false;
+  }
+  return true;
+}
+
+/// Fast vs reference sweep result: everything except `attempts` (the fast
+/// path skips duplicate candidates by design) must match bit-for-bit.
+bool sweep_results_equal(const sca::SegmentationResult& fast,
+                         const sca::SegmentationResult& ref) {
+  return fast.status == ref.status && segments_equal(fast.segments, ref.segments) &&
+         fast.window_quality == ref.window_quality &&
+         fast.config.smooth_window == ref.config.smooth_window &&
+         fast.config.threshold == ref.config.threshold &&
+         fast.config.min_burst_length == ref.config.min_burst_length &&
+         fast.burst_consistency == ref.burst_consistency;
+}
+
+/// A jittery alignment pair: a noisy burst pattern and a shifted noisy copy.
+struct AlignmentPair {
+  std::vector<double> reference;
+  std::vector<double> trace;
+};
+
+AlignmentPair make_alignment_pair(std::size_t length, std::ptrdiff_t shift,
+                                  std::uint64_t seed) {
+  num::Xoshiro256StarStar rng(seed);
+  AlignmentPair p;
+  p.reference.resize(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double burst = (i / 96) % 3 == 0 ? 2.5 : 0.3;
+    p.reference[i] = burst + rng.gaussian(0.0, 0.25);
+  }
+  p.trace = sca::apply_shift(p.reference, shift);
+  for (double& v : p.trace) v += rng.gaussian(0.0, 0.1);
+  return p;
+}
+
+/// A labelled trace set of the attack's shape: one mean level per label
+/// plus noise, leaking at a few sample points.
+sca::TraceSet make_labelled_set(std::size_t num_classes, std::size_t traces_per_class,
+                                std::size_t length, std::uint64_t seed) {
+  num::Xoshiro256StarStar rng(seed);
+  sca::TraceSet set;
+  const std::int32_t half = static_cast<std::int32_t>(num_classes / 2);
+  for (std::size_t t = 0; t < traces_per_class; ++t) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      sca::Trace trace;
+      trace.label = static_cast<std::int32_t>(c) - half;
+      trace.samples.resize(length);
+      for (std::size_t i = 0; i < length; ++i) {
+        const double leak = i % 37 == 5 ? 0.08 * static_cast<double>(trace.label) : 0.0;
+        trace.samples[i] = leak + rng.gaussian(0.0, 1.0);
+      }
+      set.add(std::move(trace));
+    }
+  }
+  return set;
+}
+
+/// A fixed-seed LLL instance: near-diagonal with dense noise, the shape the
+/// DBDD embedding produces after hint intersection.
+lattice::Basis make_lll_basis(std::size_t n, std::uint64_t seed) {
+  num::Xoshiro256StarStar rng(seed);
+  lattice::Basis basis(n, std::vector<std::int64_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) basis[i][j] = rng.uniform_int(-50, 50);
+    basis[i][i] += 150;
+  }
+  return basis;
+}
+
+// --------------------------------------------------------------------------
 // --json harness
 // --------------------------------------------------------------------------
 
 int run_json_harness(bool smoke) {
   constexpr double kVictimSpeedupGate = 2.0;
   constexpr double kTemplateSpeedupGate = 3.0;
+  constexpr double kSegSweepSpeedupGate = 3.0;
+  constexpr double kAlignSpeedupGate = 4.0;
+  constexpr double kClassStatsSpeedupGate = 2.0;
+  constexpr double kLllSpeedupGate = 2.0;
+  constexpr double kTStatTolerance = 1e-9;
 
   // --- victim simulation: predecoded+fused vs decode-per-step ------------
   const core::VictimProgram prog = core::build_sampler_firmware(64, {132120577ULL});
@@ -283,6 +373,151 @@ int run_json_harness(bool smoke) {
       },
       smoke ? 20 : 200);
 
+  // --- robust segmentation sweep: shared-work vs full re-segmentation ----
+  // A mismatched expected count forces the complete sweep (the worst case
+  // the degraded-capture pipeline hits); the fast path smooths once per
+  // distinct window and scans bursts once per (window, threshold).
+  const std::size_t sweep_expected = cfg.n + 5;
+  const double sweep_fast_ns = time_ns_per_op(
+      [&](std::size_t) {
+        const auto res = sca::segment_trace_robust(cap.trace, sweep_expected);
+        sink += res.attempts;
+      },
+      smoke ? 3 : 20);
+  const double sweep_ref_ns = time_ns_per_op(
+      [&](std::size_t) {
+        const auto res =
+            sca::segment_trace_robust_reference(cap.trace, sweep_expected);
+        sink += res.attempts;
+      },
+      smoke ? 3 : 20);
+  const double sweep_speedup = sweep_fast_ns > 0.0 ? sweep_ref_ns / sweep_fast_ns : 0.0;
+  bool sweep_identical = true;
+  for (const std::size_t expected : {cfg.n, sweep_expected, cfg.n / 2}) {
+    const auto fast = sca::segment_trace_robust(cap.trace, expected);
+    const auto ref = sca::segment_trace_robust_reference(cap.trace, expected);
+    if (!sweep_results_equal(fast, ref)) sweep_identical = false;
+  }
+
+  // --- alignment: FFT screen + exact re-score vs O(L * lag) scan ---------
+  const std::size_t align_len = smoke ? 16384 : 65536;
+  const std::size_t align_shift = smoke ? 256 : 512;
+  const AlignmentPair align_pair = make_alignment_pair(align_len, 137, 21);
+  const double align_fast_ns = time_ns_per_op(
+      [&](std::size_t) {
+        const auto r =
+            sca::find_alignment(align_pair.reference, align_pair.trace, align_shift);
+        sink += static_cast<std::uint64_t>(r.shift + 4096);
+      },
+      smoke ? 2 : 12);
+  const double align_ref_ns = time_ns_per_op(
+      [&](std::size_t) {
+        const auto r = sca::find_alignment_reference(align_pair.reference,
+                                                     align_pair.trace, align_shift);
+        sink += static_cast<std::uint64_t>(r.shift + 4096);
+      },
+      smoke ? 2 : 12);
+  const double align_speedup = align_fast_ns > 0.0 ? align_ref_ns / align_fast_ns : 0.0;
+  bool align_identical = true;
+  for (std::uint64_t seed = 31; seed <= 35; ++seed) {
+    const AlignmentPair p = make_alignment_pair(
+        8192, static_cast<std::ptrdiff_t>(seed % 7) * 29 - 87, seed);
+    const auto fast = sca::find_alignment(p.reference, p.trace, 192);
+    const auto ref = sca::find_alignment_reference(p.reference, p.trace, 192);
+    if (fast.shift != ref.shift || fast.correlation != ref.correlation)
+      align_identical = false;
+  }
+
+  // --- class stats: one streaming pass vs per-deliverable re-reads -------
+  // Deliverable: class means, SOSD curve, POIs and the pairwise |t|
+  // distinguishability matrix. The reference path re-reads the trace set
+  // for the means and twice per population per pair; ClassStats reads every
+  // trace once and answers each pair from its accumulated state.
+  const std::size_t cs_classes = 25;
+  const std::size_t cs_per_class = smoke ? 8 : 24;
+  const std::size_t cs_len = 256;
+  const sca::TraceSet cs_set = make_labelled_set(cs_classes, cs_per_class, cs_len, 77);
+  std::vector<sca::TraceSet> cs_pops(cs_classes);
+  const std::int32_t cs_half = static_cast<std::int32_t>(cs_classes / 2);
+  for (const sca::Trace& t : cs_set) {
+    cs_pops[static_cast<std::size_t>(t.label + cs_half)].add(t);
+  }
+  const std::size_t cs_iters = smoke ? 2 : 10;
+  const double cs_fast_ns = time_ns_per_op(
+      [&](std::size_t) {
+        sca::ClassStats acc(cs_len);
+        acc.add_all(cs_set);
+        const auto pois = sca::select_pois(acc.sosd(), 12, 3);
+        sink += pois.size();
+        for (std::size_t a = 0; a < cs_classes; ++a) {
+          for (std::size_t b = a + 1; b < cs_classes; ++b) {
+            const auto t = acc.welch_t(static_cast<std::int32_t>(a) - cs_half,
+                                       static_cast<std::int32_t>(b) - cs_half);
+            fsink += t[0];
+          }
+        }
+      },
+      cs_iters);
+  const double cs_ref_ns = time_ns_per_op(
+      [&](std::size_t) {
+        const auto means = sca::class_means(cs_set);
+        const auto pois = sca::select_pois(sca::sosd_curve(means), 12, 3);
+        sink += pois.size();
+        for (std::size_t a = 0; a < cs_classes; ++a) {
+          for (std::size_t b = a + 1; b < cs_classes; ++b) {
+            const auto t = sca::welch_t_test(cs_pops[a], cs_pops[b]);
+            fsink += t[0];
+          }
+        }
+      },
+      cs_iters);
+  const double cs_speedup = cs_fast_ns > 0.0 ? cs_ref_ns / cs_fast_ns : 0.0;
+  sca::ClassStats cs_acc(cs_len);
+  cs_acc.add_all(cs_set);
+  const bool cs_means_identical = cs_acc.means() == sca::class_means(cs_set) &&
+                                  cs_acc.sosd() == sca::sosd_curve(sca::class_means(cs_set));
+  const bool cs_pois_identical =
+      sca::select_pois(cs_acc.sosd(), 12, 3) ==
+      sca::select_pois(sca::sosd_curve(sca::class_means(cs_set)), 12, 3);
+  double cs_t_delta = 0.0;
+  for (std::size_t a = 0; a < cs_classes; ++a) {
+    for (std::size_t b = a + 1; b < cs_classes; ++b) {
+      const auto fast = cs_acc.welch_t(static_cast<std::int32_t>(a) - cs_half,
+                                       static_cast<std::int32_t>(b) - cs_half);
+      const auto ref = sca::welch_t_test(cs_pops[a], cs_pops[b]);
+      for (std::size_t i = 0; i < fast.size(); ++i) {
+        cs_t_delta = std::max(cs_t_delta, std::fabs(fast[i] - ref[i]));
+      }
+    }
+  }
+  const bool cs_identical =
+      cs_means_identical && cs_pois_identical && cs_t_delta <= kTStatTolerance;
+
+  // --- LLL: flat incremental GSO vs full recompute per perturbation ------
+  const std::size_t lll_n = smoke ? 16 : 28;
+  const lattice::Basis lll_basis = make_lll_basis(lll_n, 5);
+  const double lll_fast_ns = time_ns_per_op(
+      [&](std::size_t) {
+        lattice::Basis b = lll_basis;
+        sink += lattice::lll_reduce(b);
+      },
+      smoke ? 2 : 8);
+  const double lll_ref_ns = time_ns_per_op(
+      [&](std::size_t) {
+        lattice::Basis b = lll_basis;
+        sink += lattice::lll_reduce_reference(b);
+      },
+      smoke ? 2 : 8);
+  const double lll_speedup = lll_fast_ns > 0.0 ? lll_ref_ns / lll_fast_ns : 0.0;
+  bool lll_identical = true;
+  for (std::uint64_t seed = 5; seed <= 7; ++seed) {
+    lattice::Basis fast_b = make_lll_basis(smoke ? 12 : 20, seed);
+    lattice::Basis ref_b = fast_b;
+    const std::size_t fast_swaps = lattice::lll_reduce(fast_b);
+    const std::size_t ref_swaps = lattice::lll_reduce_reference(ref_b);
+    if (fast_b != ref_b || fast_swaps != ref_swaps) lll_identical = false;
+  }
+
   // --- NTT throughput ----------------------------------------------------
   const seal::Modulus q(132120577);
   const seal::NttTables tables(1024, q);
@@ -299,9 +534,12 @@ int run_json_harness(bool smoke) {
   // --- byte-identity gates ----------------------------------------------
   const bool victim_identical = victim_identity_gate();
   const bool golden_identical = golden_identity_gate();
-  const bool identity_ok = victim_identical && golden_identical;
+  const bool identity_ok = victim_identical && golden_identical && sweep_identical &&
+                           align_identical && cs_identical && lll_identical;
   const bool speedups_ok =
-      victim_speedup >= kVictimSpeedupGate && score_speedup >= kTemplateSpeedupGate;
+      victim_speedup >= kVictimSpeedupGate && score_speedup >= kTemplateSpeedupGate &&
+      sweep_speedup >= kSegSweepSpeedupGate && align_speedup >= kAlignSpeedupGate &&
+      cs_speedup >= kClassStatsSpeedupGate && lll_speedup >= kLllSpeedupGate;
   const bool passed = identity_ok && (smoke || speedups_ok);
 
   const char* out_path = "BENCH_perf.json";
@@ -325,14 +563,43 @@ int run_json_harness(bool smoke) {
                score_max_delta);
   std::fprintf(out, "  \"capture\": {\"ns_per_capture\": %.1f},\n", capture_ns);
   std::fprintf(out, "  \"segmentation\": {\"ns_per_trace\": %.1f},\n", segment_ns);
+  std::fprintf(out,
+               "  \"segmentation_sweep\": {\"fast_ns_per_sweep\": %.1f, "
+               "\"baseline_ns_per_sweep\": %.1f, \"speedup\": %.2f, \"identical\": %s},\n",
+               sweep_fast_ns, sweep_ref_ns, sweep_speedup,
+               sweep_identical ? "true" : "false");
+  std::fprintf(out,
+               "  \"alignment_fft\": {\"length\": %zu, \"max_shift\": %zu, "
+               "\"fast_ns_per_align\": %.1f, \"baseline_ns_per_align\": %.1f, "
+               "\"speedup\": %.2f, \"identical\": %s},\n",
+               align_len, align_shift, align_fast_ns, align_ref_ns, align_speedup,
+               align_identical ? "true" : "false");
+  std::fprintf(out,
+               "  \"class_stats\": {\"classes\": %zu, \"traces\": %zu, "
+               "\"fast_ns_per_pass\": %.1f, \"baseline_ns_per_pass\": %.1f, "
+               "\"speedup\": %.2f, \"pois_identical\": %s, \"means_identical\": %s, "
+               "\"t_max_abs_delta\": %.3e, \"identical\": %s},\n",
+               cs_classes, cs_set.size(), cs_fast_ns, cs_ref_ns, cs_speedup,
+               cs_pois_identical ? "true" : "false",
+               cs_means_identical ? "true" : "false", cs_t_delta,
+               cs_identical ? "true" : "false");
+  std::fprintf(out,
+               "  \"lll_flat\": {\"dimension\": %zu, \"fast_ns_per_reduce\": %.1f, "
+               "\"baseline_ns_per_reduce\": %.1f, \"speedup\": %.2f, \"identical\": %s},\n",
+               lll_n, lll_fast_ns, lll_ref_ns, lll_speedup,
+               lll_identical ? "true" : "false");
   std::fprintf(out, "  \"ntt_forward_1024\": {\"ns_per_transform\": %.1f},\n", ntt_ns);
   std::fprintf(out, "  \"golden_recovery_identical\": %s,\n",
                golden_identical ? "true" : "false");
   std::fprintf(out,
                "  \"gates\": {\"victim_speedup_min\": %.1f, \"template_speedup_min\": "
-               "%.1f, \"enforced\": %s, \"passed\": %s},\n",
-               kVictimSpeedupGate, kTemplateSpeedupGate, smoke ? "false" : "true",
-               passed ? "true" : "false");
+               "%.1f, \"segmentation_sweep_speedup_min\": %.1f, "
+               "\"alignment_speedup_min\": %.1f, \"class_stats_speedup_min\": %.1f, "
+               "\"lll_speedup_min\": %.1f, \"t_stat_tolerance\": %.1e, "
+               "\"enforced\": %s, \"passed\": %s},\n",
+               kVictimSpeedupGate, kTemplateSpeedupGate, kSegSweepSpeedupGate,
+               kAlignSpeedupGate, kClassStatsSpeedupGate, kLllSpeedupGate,
+               kTStatTolerance, smoke ? "false" : "true", passed ? "true" : "false");
   // Folding the sinks into the output keeps the timed work observable
   // (nothing for the optimizer to elide).
   std::fprintf(out, "  \"checksum\": \"%llu\"\n}\n",
@@ -344,10 +611,21 @@ int run_json_harness(bool smoke) {
               victim_fast_ns, victim_ref_ns, victim_speedup);
   std::printf("template scoring: fast %.0f ns/obs  baseline %.0f ns/obs  speedup %.2fx\n",
               score_fast_ns, score_ref_ns, score_speedup);
+  std::printf("segmentation sweep: fast %.0f ns  baseline %.0f ns  speedup %.2fx\n",
+              sweep_fast_ns, sweep_ref_ns, sweep_speedup);
+  std::printf("alignment (L=%zu): fast %.0f ns  baseline %.0f ns  speedup %.2fx\n",
+              align_len, align_fast_ns, align_ref_ns, align_speedup);
+  std::printf("class stats:      fast %.0f ns  baseline %.0f ns  speedup %.2fx\n",
+              cs_fast_ns, cs_ref_ns, cs_speedup);
+  std::printf("lll (n=%zu):      fast %.0f ns  baseline %.0f ns  speedup %.2fx\n", lll_n,
+              lll_fast_ns, lll_ref_ns, lll_speedup);
   std::printf("capture %.0f ns  segmentation %.0f ns  ntt-1024 %.0f ns\n", capture_ns,
               segment_ns, ntt_ns);
-  std::printf("identity: victim events %s, golden recovery %s\n",
-              victim_identical ? "ok" : "MISMATCH", golden_identical ? "ok" : "MISMATCH");
+  std::printf("identity: victim events %s, golden recovery %s, sweep %s, alignment %s, "
+              "class stats %s, lll %s\n",
+              victim_identical ? "ok" : "MISMATCH", golden_identical ? "ok" : "MISMATCH",
+              sweep_identical ? "ok" : "MISMATCH", align_identical ? "ok" : "MISMATCH",
+              cs_identical ? "ok" : "MISMATCH", lll_identical ? "ok" : "MISMATCH");
   if (!passed) {
     std::fprintf(stderr, "bench_perf: gate FAILED (identity %s, speedups %s)\n",
                  identity_ok ? "ok" : "violated", speedups_ok ? "ok" : "below threshold");

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf.json files and fail on speedup regressions.
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [--tolerance FRACTION]
+
+Every gated leg (a top-level object carrying a "speedup" field) present in
+the baseline must still exist in the current file, keep its identity flag
+(when it has one), and keep its speedup within ``tolerance`` of the baseline
+value: ``current >= baseline * (1 - tolerance)``. The default tolerance is
+0.10 — a >10% drop in any gated leg's speedup fails the comparison. Faster
+legs never fail.
+
+Exit codes: 0 = no regression, 1 = regression or identity violation,
+2 = usage / unreadable input (CTest maps 2 to "skipped" via
+SKIP_RETURN_CODE so a build that never produced a current json does not
+count as a failure).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as exc:
+        print(f"compare_bench: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def gated_legs(doc):
+    """Top-level objects with a measured speedup, keyed by leg name."""
+    return {
+        name: leg
+        for name, leg in doc.items()
+        if isinstance(leg, dict) and "speedup" in leg
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional speedup drop per leg (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    base_legs = gated_legs(baseline)
+    cur_legs = gated_legs(current)
+    if not base_legs:
+        print(f"compare_bench: no gated legs in {args.baseline}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, base in sorted(base_legs.items()):
+        cur = cur_legs.get(name)
+        if cur is None:
+            failures.append(f"{name}: leg missing from current run")
+            continue
+        base_speedup = float(base["speedup"])
+        cur_speedup = float(cur["speedup"])
+        floor = base_speedup * (1.0 - args.tolerance)
+        ratio = cur_speedup / base_speedup if base_speedup > 0 else float("inf")
+        status = "ok"
+        if cur_speedup < floor:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: speedup {cur_speedup:.2f}x < floor {floor:.2f}x "
+                f"(baseline {base_speedup:.2f}x, -{(1 - ratio) * 100:.1f}%)"
+            )
+        if cur.get("identical") is False:
+            status = "IDENTITY"
+            failures.append(f"{name}: fast path no longer byte-identical")
+        print(
+            f"  {name:22s} baseline {base_speedup:7.2f}x  "
+            f"current {cur_speedup:7.2f}x  {status}"
+        )
+
+    if failures:
+        print("compare_bench: FAILED", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"compare_bench: all {len(base_legs)} gated legs within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,10 +37,126 @@ bool is_zero_row(const std::vector<std::int64_t>& row) {
   return true;
 }
 
+/// Flat row-major GSO state with lazy row validity.
+///
+/// GSO row i (star_i, mu[i][0..i), ||b*_i||^2) is a pure function of basis
+/// rows 0..i, evaluated here with exactly the arithmetic of compute_gso's
+/// row loop. The LLL kernel only ever perturbs basis row k after rows < k
+/// are final for the current sweep position, so a perturbation invalidates
+/// the GSO from row k on; rows past the high-water mark are recomputed on
+/// arrival. Reads therefore always observe the same long double values a
+/// full compute_gso of the current basis would produce — which is what
+/// makes lll_reduce byte-identical to lll_reduce_reference — while a
+/// size-reduction subtraction costs one O(k*d) row refresh instead of the
+/// reference's O(n^2*d) full recompute.
+class FlatGso {
+ public:
+  explicit FlatGso(const Basis& basis)
+      : rows_(basis.size()), cols_(basis.front().size()) {
+    star_.assign(rows_ * cols_, 0.0L);
+    mu_.assign(rows_ * rows_, 0.0L);
+    norms_sq_.assign(rows_, 0.0L);
+  }
+
+  [[nodiscard]] long double mu(std::size_t i, std::size_t j) const noexcept {
+    return mu_[i * rows_ + j];
+  }
+  [[nodiscard]] long double norms_sq(std::size_t i) const noexcept {
+    return norms_sq_[i];
+  }
+
+  /// Marks GSO rows >= row as stale (basis row `row` was just modified,
+  /// swapped, or erased).
+  void invalidate_from(std::size_t row) noexcept { valid_ = std::min(valid_, row); }
+
+  /// Recomputes stale rows up to and including `i` from the current basis.
+  /// `basis.size()` may have shrunk below the constructed capacity (BKZ's
+  /// dependency removal); the flat buffers keep their original stride.
+  void ensure(std::size_t i, const Basis& basis) {
+    while (valid_ <= i) {
+      const std::size_t r = valid_;
+      long double* star_r = star_.data() + r * cols_;
+      long double* mu_r = mu_.data() + r * rows_;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        star_r[c] = static_cast<long double>(basis[r][c]);
+      }
+      for (std::size_t j = 0; j < r; ++j) {
+        if (norms_sq_[j] <= 0.0L) {
+          mu_r[j] = 0.0L;
+          continue;
+        }
+        const long double* star_j = star_.data() + j * cols_;
+        long double proj = 0.0L;
+        for (std::size_t c = 0; c < cols_; ++c) {
+          proj += static_cast<long double>(basis[r][c]) * star_j[c];
+        }
+        const long double m = proj / norms_sq_[j];
+        mu_r[j] = m;
+        for (std::size_t c = 0; c < cols_; ++c) star_r[c] -= m * star_j[c];
+      }
+      long double ns = 0.0L;
+      for (std::size_t c = 0; c < cols_; ++c) ns += star_r[c] * star_r[c];
+      norms_sq_[r] = ns;
+      ++valid_;
+    }
+  }
+
+ private:
+  std::size_t rows_;  ///< buffer stride (the constructed row count)
+  std::size_t cols_;
+  std::size_t valid_ = 0;  ///< rows [0, valid_) agree with the current basis
+  std::vector<long double> star_;
+  std::vector<long double> mu_;
+  std::vector<long double> norms_sq_;
+};
+
 /// LLL loop shared by the public lll_reduce and the dependency-removing
 /// variant used inside BKZ. Returns the number of swaps. If
 /// `remove_dependencies` is set, rows that reduce to zero are erased.
 std::size_t lll_core(Basis& basis, double delta, bool remove_dependencies) {
+  std::size_t swaps = 0;
+  FlatGso gso(basis);
+  std::size_t k = 1;
+  while (k < basis.size()) {
+    gso.ensure(k, basis);
+    // Size-reduce b_k against b_{k-1} ... b_0, refreshing only GSO row k
+    // after every subtraction (rows < k are untouched; rows > k are stale
+    // either way and recompute when the sweep reaches them).
+    for (std::size_t j = k; j-- > 0;) {
+      const long double mu = gso.mu(k, j);
+      if (fabsl(mu) > 0.5L) {
+        axpy(basis[k], static_cast<std::int64_t>(llroundl(mu)), basis[j]);
+        gso.invalidate_from(k);
+        gso.ensure(k, basis);
+      }
+    }
+
+    if (remove_dependencies && is_zero_row(basis[k])) {
+      basis.erase(basis.begin() + static_cast<std::ptrdiff_t>(k));
+      gso.invalidate_from(k);
+      k = std::max<std::size_t>(k, 1);
+      if (k >= basis.size()) break;
+      continue;
+    }
+
+    const long double lhs = gso.norms_sq(k);
+    const long double rhs =
+        (static_cast<long double>(delta) - gso.mu(k, k - 1) * gso.mu(k, k - 1)) *
+        gso.norms_sq(k - 1);
+    if (lhs >= rhs) {
+      ++k;
+    } else {
+      std::swap(basis[k], basis[k - 1]);
+      gso.invalidate_from(k - 1);
+      ++swaps;
+      k = k > 1 ? k - 1 : 1;
+    }
+  }
+  return swaps;
+}
+
+/// The pre-optimization loop: full compute_gso after every perturbation.
+std::size_t lll_core_reference(Basis& basis, double delta, bool remove_dependencies) {
   std::size_t swaps = 0;
   Gso gso = compute_gso(basis);
   std::size_t k = 1;
@@ -174,6 +290,14 @@ std::size_t lll_reduce(Basis& basis, const LllParams& params) {
     throw std::invalid_argument("lll_reduce: delta must be in (1/4, 1]");
   if (basis.size() < 2) return 0;
   return lll_core(basis, params.delta, /*remove_dependencies=*/false);
+}
+
+std::size_t lll_reduce_reference(Basis& basis, const LllParams& params) {
+  check_rectangular(basis);
+  if (!(params.delta > 0.25 && params.delta <= 1.0))
+    throw std::invalid_argument("lll_reduce: delta must be in (1/4, 1]");
+  if (basis.size() < 2) return 0;
+  return lll_core_reference(basis, params.delta, /*remove_dependencies=*/false);
 }
 
 bool is_lll_reduced(const Basis& basis, double delta, double tolerance) {

@@ -33,7 +33,20 @@ struct LllParams {
 };
 
 /// In-place LLL reduction; returns the number of swaps performed.
+///
+/// Runs the flat-storage kernel: GSO rows live in row-major long double
+/// buffers with a validity high-water mark, and a perturbation of basis row
+/// k (size-reduction subtraction, swap, erase) invalidates only rows >= k —
+/// invalid rows are recomputed on arrival. Every GSO row is a pure function
+/// of the basis prefix computed with the same arithmetic as compute_gso, so
+/// the reduced basis and swap count are byte-identical to
+/// lll_reduce_reference for every input.
 std::size_t lll_reduce(Basis& basis, const LllParams& params = {});
+
+/// The pre-optimization LLL loop that recomputes the full GSO from scratch
+/// after every perturbation. Kept as the differential anchor for
+/// lll_reduce's flat incremental kernel.
+std::size_t lll_reduce_reference(Basis& basis, const LllParams& params = {});
 
 /// True if `basis` is (delta-)LLL-reduced (size-reduced + Lovász).
 [[nodiscard]] bool is_lll_reduced(const Basis& basis, double delta = 0.99,

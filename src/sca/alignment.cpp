@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+
+#include "numeric/fft.hpp"
 
 namespace reveal::sca {
 
 namespace {
 
 /// Pearson correlation of reference[i] vs trace[i + delay] over the valid
-/// overlap; returns -2 if the overlap is shorter than `min_overlap`.
+/// overlap; returns -2 if the overlap is shorter than `min_overlap`. This is
+/// the exact kernel: the FFT path below only *screens* delays and re-scores
+/// its candidates through this function, so both paths emit identical bits.
 double correlation_at_delay(const std::vector<double>& reference,
                             const std::vector<double>& trace, std::ptrdiff_t delay,
                             std::size_t min_overlap) {
@@ -39,21 +44,21 @@ double correlation_at_delay(const std::vector<double>& reference,
   return denom > 0.0 ? num / denom : 0.0;
 }
 
-}  // namespace
+std::size_t overlap_min(const std::vector<double>& reference,
+                        const std::vector<double>& trace) {
+  return std::max<std::size_t>(8, std::min(reference.size(), trace.size()) / 4);
+}
 
-AlignmentResult find_alignment(const std::vector<double>& reference,
-                               const std::vector<double>& trace,
-                               std::size_t max_shift) {
-  if (reference.empty() || trace.empty())
-    throw std::invalid_argument("find_alignment: empty input");
-  const std::size_t min_overlap =
-      std::max<std::size_t>(8, std::min(reference.size(), trace.size()) / 4);
-
+/// The reference selection rule applied to an explicit delay list (which must
+/// be in increasing delay order): first strict maximum wins — identical to
+/// scanning every delay when the list contains every exact-maximum delay.
+AlignmentResult select_best(const std::vector<double>& reference,
+                            const std::vector<double>& trace,
+                            const std::vector<std::ptrdiff_t>& delays,
+                            std::size_t min_overlap, bool& any) {
   AlignmentResult best;
   best.correlation = -2.0;
-  bool any = false;
-  for (std::ptrdiff_t delay = -static_cast<std::ptrdiff_t>(max_shift);
-       delay <= static_cast<std::ptrdiff_t>(max_shift); ++delay) {
+  for (const std::ptrdiff_t delay : delays) {
     const double corr = correlation_at_delay(reference, trace, delay, min_overlap);
     if (corr <= -2.0) continue;
     any = true;
@@ -64,6 +69,128 @@ AlignmentResult find_alignment(const std::vector<double>& reference,
       best.shift = -delay;
     }
   }
+  return best;
+}
+
+}  // namespace
+
+AlignmentResult find_alignment_reference(const std::vector<double>& reference,
+                                         const std::vector<double>& trace,
+                                         std::size_t max_shift) {
+  if (reference.empty() || trace.empty())
+    throw std::invalid_argument("find_alignment: empty input");
+  const std::size_t min_overlap = overlap_min(reference, trace);
+  std::vector<std::ptrdiff_t> delays;
+  delays.reserve(2 * max_shift + 1);
+  for (std::ptrdiff_t delay = -static_cast<std::ptrdiff_t>(max_shift);
+       delay <= static_cast<std::ptrdiff_t>(max_shift); ++delay) {
+    delays.push_back(delay);
+  }
+  bool any = false;
+  const AlignmentResult best = select_best(reference, trace, delays, min_overlap, any);
+  if (!any) throw std::invalid_argument("find_alignment: max_shift leaves no overlap");
+  return best;
+}
+
+AlignmentResult find_alignment(const std::vector<double>& reference,
+                               const std::vector<double>& trace,
+                               std::size_t max_shift) {
+  if (reference.empty() || trace.empty())
+    throw std::invalid_argument("find_alignment: empty input");
+
+  // Below this work estimate the O(L * lag) scan beats three FFT passes plus
+  // prefix sums; both paths produce identical bits, so this is purely a
+  // crossover heuristic.
+  const std::size_t scan_work =
+      (2 * max_shift + 1) * std::min(reference.size(), trace.size());
+  if (scan_work < (std::size_t{1} << 16))
+    return find_alignment_reference(reference, trace, max_shift);
+
+  const std::size_t min_overlap = overlap_min(reference, trace);
+  const auto ref_n = static_cast<std::ptrdiff_t>(reference.size());
+  const auto trace_n = static_cast<std::ptrdiff_t>(trace.size());
+
+  // Raw cross term sum_i r[i] * t[i+d] for every lag, via one FFT pass.
+  const std::vector<double> cross = num::cross_correlation(reference, trace);
+
+  // Inclusive prefix sums (long double: keeps the screening error itself
+  // from needing its own error analysis at multi-million-sample lengths).
+  auto prefix = [](const std::vector<double>& v, bool squared) {
+    std::vector<long double> p(v.size() + 1, 0.0L);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const long double x = v[i];
+      p[i + 1] = p[i] + (squared ? x * x : x);
+    }
+    return p;
+  };
+  const std::vector<long double> pr = prefix(reference, false);
+  const std::vector<long double> prr = prefix(reference, true);
+  const std::vector<long double> pt = prefix(trace, false);
+  const std::vector<long double> ptt = prefix(trace, true);
+
+  const double ref_norm = std::sqrt(static_cast<double>(prr[reference.size()]));
+  const double trace_norm = std::sqrt(static_cast<double>(ptt[trace.size()]));
+  // Conservative absolute error bound on the screened correlation's
+  // numerator/denominator scale: FFT roundoff grows ~ eps * log2(n) * scale;
+  // the factor below leaves two orders of magnitude of headroom.
+  const double err_scale =
+      1e3 * std::numeric_limits<double>::epsilon() *
+      static_cast<double>(num::Fft::next_pow2(reference.size() + trace.size())) *
+      (1.0 + ref_norm * trace_norm);
+
+  struct Screened {
+    std::ptrdiff_t delay;
+    double corr;
+    double tol;
+  };
+  std::vector<Screened> screened;
+  screened.reserve(2 * max_shift + 1);
+  bool any_valid = false;
+  double best_lower = -std::numeric_limits<double>::infinity();
+  for (std::ptrdiff_t delay = -static_cast<std::ptrdiff_t>(max_shift);
+       delay <= static_cast<std::ptrdiff_t>(max_shift); ++delay) {
+    const std::ptrdiff_t begin = std::max<std::ptrdiff_t>(0, -delay);
+    const std::ptrdiff_t end = std::min(ref_n, trace_n - delay);
+    if (end - begin < static_cast<std::ptrdiff_t>(min_overlap)) continue;
+    any_valid = true;
+    const std::ptrdiff_t cross_idx = delay + (ref_n - 1);
+    if (cross_idx < 0 || cross_idx >= static_cast<std::ptrdiff_t>(cross.size()))
+      continue;  // unreachable given the overlap check; guards indexing
+    const auto len = static_cast<double>(end - begin);
+    const auto b = static_cast<std::size_t>(begin);
+    const auto e = static_cast<std::size_t>(end);
+    const auto tb = static_cast<std::size_t>(begin + delay);
+    const auto te = static_cast<std::size_t>(end + delay);
+    const double sr = static_cast<double>(pr[e] - pr[b]);
+    const double st = static_cast<double>(pt[te] - pt[tb]);
+    const double srr = static_cast<double>(prr[e] - prr[b]);
+    const double stt = static_cast<double>(ptt[te] - ptt[tb]);
+    const double num = cross[static_cast<std::size_t>(cross_idx)] - sr * st / len;
+    const double dr = srr - sr * sr / len;
+    const double dt = stt - st * st / len;
+    const double denom_sq = dr * dt;
+    const double denom = denom_sq > 0.0 ? std::sqrt(denom_sq) : 0.0;
+    // Degenerate overlaps (denom ~ 0) get an unbounded tolerance, which
+    // forces them into the exact re-score set rather than trusting the
+    // screen. The exact kernel then reproduces the reference's 0.0 result.
+    const double tol = err_scale / std::max(denom, err_scale);
+    const double corr = denom > err_scale ? num / denom : 0.0;
+    screened.push_back({delay, corr, tol});
+    best_lower = std::max(best_lower, corr - tol);
+  }
+  if (!any_valid)
+    throw std::invalid_argument("find_alignment: max_shift leaves no overlap");
+
+  // Every delay whose screened value could still reach the lower bound of
+  // the maximum is re-scored exactly; all others are provably below the true
+  // maximum. The candidate list is in increasing delay order, so the first
+  // strict maximum matches the reference scan's winner tie-for-tie.
+  std::vector<std::ptrdiff_t> candidates;
+  for (const Screened& s : screened) {
+    if (s.corr + s.tol >= best_lower) candidates.push_back(s.delay);
+  }
+  bool any = false;
+  const AlignmentResult best = select_best(reference, trace, candidates, min_overlap, any);
   if (!any) throw std::invalid_argument("find_alignment: max_shift leaves no overlap");
   return best;
 }

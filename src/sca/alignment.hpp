@@ -24,9 +24,21 @@ struct AlignmentResult {
 /// normalized cross-correlation with `reference`, comparing over the
 /// overlapping region. Throws std::invalid_argument on empty inputs or if
 /// max_shift leaves no overlap.
+///
+/// Large inputs run an O(L log L) FFT cross-correlation screen (numeric/fft)
+/// plus prefix-sum normalization; the few delays whose screened score could
+/// still reach the maximum are re-scored with the exact time-domain kernel,
+/// so the returned shift and correlation are byte-identical to
+/// find_alignment_reference for every input.
 [[nodiscard]] AlignmentResult find_alignment(const std::vector<double>& reference,
                                              const std::vector<double>& trace,
                                              std::size_t max_shift);
+
+/// The pre-optimization O(L * max_shift) scan over every delay. Kept as the
+/// differential anchor for find_alignment's FFT path.
+[[nodiscard]] AlignmentResult find_alignment_reference(
+    const std::vector<double>& reference, const std::vector<double>& trace,
+    std::size_t max_shift);
 
 /// Applies a shift: positive moves content right (prepends edge padding),
 /// negative moves left; output has the same length as the input.

@@ -1,0 +1,161 @@
+#include "sca/class_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reveal::sca {
+
+ClassStats::ClassStats(std::size_t length) : length_(length) {
+  if (length == 0) throw std::invalid_argument("ClassStats: length must be >= 1");
+}
+
+std::vector<std::int32_t> ClassStats::labels() const {
+  std::vector<std::int32_t> out;
+  out.reserve(classes_.size());
+  for (const PerClass& c : classes_) out.push_back(c.label);
+  return out;
+}
+
+std::size_t ClassStats::class_count(std::int32_t label) const {
+  const PerClass* c = find(label);
+  return c != nullptr ? c->count : 0;
+}
+
+ClassStats::PerClass& ClassStats::slot(std::int32_t label) {
+  const auto it = std::lower_bound(
+      classes_.begin(), classes_.end(), label,
+      [](const PerClass& c, std::int32_t l) { return c.label < l; });
+  if (it != classes_.end() && it->label == label) return *it;
+  PerClass fresh;
+  fresh.label = label;
+  fresh.sum.assign(length_, 0.0);
+  fresh.mean.assign(length_, 0.0);
+  fresh.m2.assign(length_, 0.0);
+  return *classes_.insert(it, std::move(fresh));
+}
+
+const ClassStats::PerClass* ClassStats::find(std::int32_t label) const noexcept {
+  const auto it = std::lower_bound(
+      classes_.begin(), classes_.end(), label,
+      [](const PerClass& c, std::int32_t l) { return c.label < l; });
+  return it != classes_.end() && it->label == label ? &*it : nullptr;
+}
+
+void ClassStats::add(std::int32_t label, const std::vector<double>& samples) {
+  if (label == Trace::kNoLabel)
+    throw std::invalid_argument("ClassStats::add: unlabelled trace");
+  if (samples.size() < length_)
+    throw std::invalid_argument("ClassStats::add: trace shorter than window");
+  PerClass& c = slot(label);
+  ++c.count;
+  ++total_;
+  const double inv_n = 1.0 / static_cast<double>(c.count);
+  double* sum = c.sum.data();
+  double* mean = c.mean.data();
+  double* m2 = c.m2.data();
+  const double* x = samples.data();
+  for (std::size_t i = 0; i < length_; ++i) {
+    sum[i] += x[i];
+    const double delta = x[i] - mean[i];
+    mean[i] += delta * inv_n;  // inv_n hoisted: no per-point divide
+    m2[i] += delta * (x[i] - mean[i]);
+  }
+}
+
+void ClassStats::add_all(const TraceSet& set) {
+  for (const Trace& t : set) add(t.label, t.samples);
+}
+
+void ClassStats::merge(const ClassStats& other) {
+  if (other.length_ != length_)
+    throw std::invalid_argument("ClassStats::merge: length mismatch");
+  for (const PerClass& o : other.classes_) {
+    if (o.count == 0) continue;
+    PerClass& c = slot(o.label);
+    if (c.count == 0) {
+      const std::int32_t label = c.label;
+      c = o;
+      c.label = label;
+      total_ += o.count;
+      continue;
+    }
+    const auto na = static_cast<double>(c.count);
+    const auto nb = static_cast<double>(o.count);
+    const double total = na + nb;
+    for (std::size_t i = 0; i < length_; ++i) {
+      c.sum[i] += o.sum[i];
+      const double delta = o.mean[i] - c.mean[i];
+      c.mean[i] += delta * nb / total;
+      c.m2[i] += o.m2[i] + delta * delta * na * nb / total;
+    }
+    c.count += o.count;
+    total_ += o.count;
+  }
+}
+
+ClassMeans ClassStats::means() const {
+  ClassMeans out;
+  for (const PerClass& c : classes_) {
+    if (c.count == 0) continue;
+    std::vector<double> m = c.sum;
+    for (double& v : m) v /= static_cast<double>(c.count);
+    out.emplace(c.label, std::move(m));
+  }
+  return out;
+}
+
+std::vector<double> ClassStats::sosd() const {
+  // Delegates to the reference pair loop over means() so the two paths can
+  // never drift: the mean curves are bit-identical (see means()) and the
+  // accumulation order over class pairs is literally the same code.
+  return sosd_curve(means());
+}
+
+std::vector<double> ClassStats::variance(std::int32_t label) const {
+  const PerClass* c = find(label);
+  if (c == nullptr) throw std::invalid_argument("ClassStats::variance: unknown label");
+  std::vector<double> out(length_, 0.0);
+  if (c->count < 2) return out;
+  const double denom = static_cast<double>(c->count - 1);
+  for (std::size_t i = 0; i < length_; ++i) out[i] = c->m2[i] / denom;
+  return out;
+}
+
+std::vector<double> ClassStats::welch_t(std::int32_t label_a,
+                                        std::int32_t label_b) const {
+  const PerClass* a = find(label_a);
+  const PerClass* b = find(label_b);
+  if (a == nullptr || b == nullptr || a->count < 2 || b->count < 2)
+    throw std::invalid_argument("ClassStats::welch_t: each class needs >= 2 traces");
+  const auto na = static_cast<double>(a->count);
+  const auto nb = static_cast<double>(b->count);
+  std::vector<double> t(length_, 0.0);
+  for (std::size_t i = 0; i < length_; ++i) {
+    // Means from the exact sum track (matching welch_t_test's sum/divide);
+    // variances from the Welford track.
+    const double ma = a->sum[i] / na;
+    const double mb = b->sum[i] / nb;
+    const double va = a->m2[i] / (na - 1.0);
+    const double vb = b->m2[i] / (nb - 1.0);
+    const double denom = std::sqrt(va / na + vb / nb);
+    t[i] = denom > 0.0 ? (ma - mb) / denom : 0.0;
+  }
+  return t;
+}
+
+TvlaReport ClassStats::tvla(std::int32_t label_a, std::int32_t label_b) const {
+  TvlaReport report;
+  report.t_values = welch_t(label_a, label_b);
+  for (std::size_t i = 0; i < report.t_values.size(); ++i) {
+    const double abs_t = std::fabs(report.t_values[i]);
+    if (abs_t > report.max_abs_t) {
+      report.max_abs_t = abs_t;
+      report.max_index = i;
+    }
+    if (abs_t > kTvlaThreshold) ++report.leaking_points;
+  }
+  return report;
+}
+
+}  // namespace reveal::sca

@@ -1,0 +1,96 @@
+#pragma once
+// Streaming per-class trace statistics: one pass over a labelled trace set
+// produces everything the analysis plane derives from it — per-class mean
+// curves, per-class variance curves, the SOSD POI criterion, and Welch
+// t-statistics — where the reference path (class_means + sosd_curve +
+// welch_t_test) re-reads every trace three to four times.
+//
+// Identity contract:
+//   * means() and sosd() are bit-identical to class_means()/sosd_curve()
+//     fed the same traces in the same order: the mean track accumulates
+//     plain per-point sums in arrival order and divides once at the end,
+//     exactly like the reference.
+//   * variance()/welch_t() use a per-point Welford recurrence (one pass,
+//     no cancellation); they agree with the reference's two-pass variance
+//     to the last few ulps and are tolerance-gated, not bit-gated.
+//
+// merge() combines two accumulators with per-point Chan updates —
+// statistically exact, but (like RunningCovariance::merge) not bit-identical
+// to streaming the union through one accumulator, because floating-point
+// addition is not associative. CampaignRunner::class_stats builds partials
+// over fixed index blocks and merges them in block order, which makes the
+// parallel result independent of both the scheduling and the worker count.
+
+#include <cstdint>
+#include <vector>
+
+#include "sca/poi.hpp"
+#include "sca/trace.hpp"
+#include "sca/tvla.hpp"
+
+namespace reveal::sca {
+
+class ClassStats {
+ public:
+  /// Accumulates the first `length` samples of every added trace
+  /// (length >= 1; throws std::invalid_argument otherwise).
+  explicit ClassStats(std::size_t length);
+
+  [[nodiscard]] std::size_t length() const noexcept { return length_; }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return classes_.size(); }
+  [[nodiscard]] std::size_t total_count() const noexcept { return total_; }
+  /// Labels in increasing order (the iteration order of every per-class
+  /// output, matching ClassMeans' map order).
+  [[nodiscard]] std::vector<std::int32_t> labels() const;
+  [[nodiscard]] std::size_t class_count(std::int32_t label) const;
+
+  /// Adds one labelled observation. Throws std::invalid_argument if the
+  /// trace is shorter than length() or the label is Trace::kNoLabel.
+  void add(std::int32_t label, const std::vector<double>& samples);
+
+  /// Adds every trace of `set` in set order (all must be labelled).
+  void add_all(const TraceSet& set);
+
+  /// Merges `other` into this accumulator (per-point Chan update of the
+  /// Welford track, plain addition of the sum track). Lengths must match.
+  void merge(const ClassStats& other);
+
+  /// Per-class mean curves; bit-identical to class_means() over the same
+  /// traces in the same arrival order.
+  [[nodiscard]] ClassMeans means() const;
+
+  /// SOSD curve over the class means; bit-identical to
+  /// sosd_curve(class_means(...)). Throws if fewer than 2 classes.
+  [[nodiscard]] std::vector<double> sosd() const;
+
+  /// Per-point sample variance of one class (n-1 denominator; zeros for
+  /// fewer than 2 observations). Throws if the label was never added.
+  [[nodiscard]] std::vector<double> variance(std::int32_t label) const;
+
+  /// Welch t statistic per sample point between two accumulated classes —
+  /// the streaming counterpart of welch_t_test on the two populations.
+  /// Throws std::invalid_argument unless both classes hold >= 2 traces.
+  [[nodiscard]] std::vector<double> welch_t(std::int32_t label_a,
+                                            std::int32_t label_b) const;
+
+  /// TVLA summary of welch_t(label_a, label_b), mirroring tvla_assess.
+  [[nodiscard]] TvlaReport tvla(std::int32_t label_a, std::int32_t label_b) const;
+
+ private:
+  struct PerClass {
+    std::int32_t label = 0;
+    std::size_t count = 0;
+    std::vector<double> sum;   // plain per-point sums: exact means / SOSD
+    std::vector<double> mean;  // Welford running mean
+    std::vector<double> m2;    // Welford accumulated squared deviations
+  };
+
+  [[nodiscard]] PerClass& slot(std::int32_t label);
+  [[nodiscard]] const PerClass* find(std::int32_t label) const noexcept;
+
+  std::size_t length_ = 0;
+  std::size_t total_ = 0;
+  std::vector<PerClass> classes_;  // sorted by label
+};
+
+}  // namespace reveal::sca

@@ -36,9 +36,19 @@ struct Segment {
 [[nodiscard]] std::vector<Segment> segment_trace(const std::vector<double>& samples,
                                                  const SegmentationConfig& config = {});
 
-/// Moving average smoothing (window >= 1; window 1 copies).
+/// Moving average smoothing (window >= 1; window 1 copies). Uses a
+/// Neumaier-compensated sliding accumulator, so the rounding error per
+/// output stays O(window * eps) instead of growing with the trace length
+/// (the plain add/subtract accumulator drifts O(length * eps) on traces of
+/// millions of samples — see smooth_reference).
 [[nodiscard]] std::vector<double> smooth(const std::vector<double>& samples,
                                          std::size_t window);
+
+/// The pre-hardening smoothing kernel: a plain (uncompensated) sliding
+/// accumulator. Kept as the differential anchor for the drift regression
+/// tests; new code should call smooth().
+[[nodiscard]] std::vector<double> smooth_reference(const std::vector<double>& samples,
+                                                   std::size_t window);
 
 /// Midpoint between the 20th and 95th percentile — the automatic threshold.
 /// Degenerate (flat or near-constant) traces have no burst/floor separation
@@ -68,7 +78,7 @@ struct SegmentationResult {
   std::vector<Segment> segments;      ///< best segmentation found
   std::vector<double> window_quality; ///< per-segment score in [0,1], aligned
   SegmentationConfig config;          ///< the config that produced `segments`
-  std::size_t attempts = 0;           ///< segment_trace invocations performed
+  std::size_t attempts = 0;           ///< distinct segmentations evaluated
   double burst_consistency = 0.0;     ///< 1 - cv(burst lengths), clamped to [0,1]
 };
 
@@ -86,7 +96,22 @@ struct SegmentationResult {
 /// expected count), then sweeps threshold/smooth/min-burst variations.
 /// Never throws on bad data: a hopeless trace comes back as kFailed with
 /// the closest candidate attached for diagnostics.
+///
+/// The sweep shares all per-candidate O(L) work: each distinct smoothing
+/// window is smoothed once, each (smoothing, threshold) pair is scanned for
+/// bursts once, and min-burst variants reuse those runs. Candidates that
+/// normalize to an identical effective configuration are evaluated once
+/// (`attempts` counts distinct evaluations). The selected segmentation,
+/// config, status and scores are bit-identical to
+/// segment_trace_robust_reference; only `attempts` may be lower.
 [[nodiscard]] SegmentationResult segment_trace_robust(
+    const std::vector<double>& samples, std::size_t expected_windows,
+    const SegmentationConfig& base = {}, double degraded_consistency = 0.75);
+
+/// The pre-optimization sweep: re-smooths and re-segments the full trace for
+/// every candidate, duplicates included (`attempts` counts every candidate).
+/// Kept as the differential anchor for segment_trace_robust.
+[[nodiscard]] SegmentationResult segment_trace_robust_reference(
     const std::vector<double>& samples, std::size_t expected_windows,
     const SegmentationConfig& base = {}, double degraded_consistency = 0.75);
 
