@@ -40,6 +40,22 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+/// String value of "--name=<v>" or "--name <v>", or fallback
+/// (e.g. --diag=diag.json, --diag diag.json).
+inline std::string flag_string(int argc, char** argv, const char* name,
+                               const char* fallback = "") {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+  }
+  return fallback;
+}
+
 /// Value of "--name=<v>" or fallback.
 inline long flag_value(int argc, char** argv, const char* name, long fallback) {
   const std::string prefix = std::string(name) + "=";

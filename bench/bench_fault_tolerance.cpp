@@ -20,9 +20,11 @@
 
 #include "bench_common.hpp"
 #include "core/attack.hpp"
+#include "core/campaign_runner.hpp"
 #include "core/hints.hpp"
 #include "core/parallel.hpp"
 #include "lwe/dbdd.hpp"
+#include "obs/diagnostics.hpp"
 #include "power/fault_injector.hpp"
 #include "sca/report.hpp"
 
@@ -104,7 +106,8 @@ struct LevelResult {
 // numbers are identical to the sequential sweep for any worker count.
 LevelResult run_level(const RevealAttack& attack, const CampaignConfig& clean,
                       const Level& level, std::size_t captures_per_level,
-                      const lwe::DbddParams& params, const HintPolicy& policy) {
+                      const lwe::DbddParams& params, const HintPolicy& policy,
+                      CampaignDiagnostics* diag) {
   CampaignConfig cfg = clean;
   cfg.faults = level.faults;
   SamplerCampaign campaign(cfg);
@@ -117,17 +120,65 @@ LevelResult run_level(const RevealAttack& attack, const CampaignConfig& clean,
   // (seeds), so differences come from the faults alone. A capture whose
   // segmentation fails outright consumes its hint slots with no hints.
   for (std::size_t k = 0; k < captures_per_level; ++k) {
-    const FullCapture cap = campaign.capture(40000 + k);
+    FullCapture cap;
+    if (diag != nullptr) {
+      auto span = diag->tracer.span(obs::Stage::kCapture, static_cast<std::uint32_t>(k));
+      campaign.capture_into(40000 + k, cap);
+    } else {
+      campaign.capture_into(40000 + k, cap);
+    }
     const RobustCaptureResult res =
-        attack.attack_capture_robust(cap.trace, cfg.n, cfg.segmentation);
+        diag != nullptr
+            ? attack.attack_capture_robust_traced(cap.trace, cfg.n, cfg.segmentation,
+                                                  diag->tracer,
+                                                  static_cast<std::uint32_t>(k))
+            : attack.attack_capture_robust(cap.trace, cfg.n, cfg.segmentation);
     ++r.captures;
     r.expected_total += cfg.n;
     r.recovered_windows += res.segmentation.segments.size();
+    if (diag != nullptr) {
+      obs::Registry& reg = diag->registry;
+      reg.set_max(reg.gauge("capture.trace_samples.max"),
+                  static_cast<double>(cap.trace.size()));
+      // Same names and semantics as CampaignRunner's instrumented path.
+      reg.add(reg.counter("segmentation.attempts"), res.segmentation.attempts);
+      if (res.segmentation.attempts > 1)
+        reg.add(reg.counter("segmentation.retries"), res.segmentation.attempts - 1);
+      switch (res.segmentation.status) {
+        case sca::SegmentationStatus::kOk:
+          reg.add(reg.counter("segmentation.ok"));
+          break;
+        case sca::SegmentationStatus::kRecovered:
+          reg.add(reg.counter("segmentation.recovered"));
+          break;
+        case sca::SegmentationStatus::kDegraded:
+          reg.add(reg.counter("segmentation.degraded"));
+          break;
+        case sca::SegmentationStatus::kFailed:
+          reg.add(reg.counter("segmentation.failed"));
+          break;
+      }
+      const obs::Registry::Id wq =
+          reg.histogram("segmentation.window_quality", 0.0, 1.0, 20);
+      for (const double q : res.segmentation.window_quality) reg.observe(wq, q);
+      if (res.guesses.size() == cap.noise.size()) {
+        for (std::size_t i = 0; i < res.guesses.size(); ++i) {
+          diag->confusion.add(static_cast<std::int32_t>(cap.noise[i]),
+                              res.guesses[i].value);
+        }
+      }
+    }
     if (res.segmentation.status == sca::SegmentationStatus::kFailed) {
       r.dropped_hints += cfg.n;
       continue;
     }
-    const HintSummary hints = integrate_guess_hints(estimator, res.guesses, policy);
+    HintSummary hints;
+    if (diag != nullptr) {
+      auto span = diag->tracer.span(obs::Stage::kHints, static_cast<std::uint32_t>(k));
+      hints = integrate_guess_hints(estimator, res.guesses, policy);
+    } else {
+      hints = integrate_guess_hints(estimator, res.guesses, policy);
+    }
     r.perfect_hints += hints.perfect;
     r.approximate_hints += hints.approximate;
     r.sign_only_hints += hints.sign_only;
@@ -154,9 +205,40 @@ LevelResult run_level(const RevealAttack& attack, const CampaignConfig& clean,
       ++r.segmentation_ok;
     }
   }
-  const lwe::SecurityEstimate est = estimator.estimate();
+  lwe::SecurityEstimate est;
+  if (diag != nullptr) {
+    auto span = diag->tracer.span(obs::Stage::kEstimation);
+    est = estimator.estimate();
+  } else {
+    est = estimator.estimate();
+  }
   r.bikz = est.beta;
   r.bits = est.bits;
+
+  // The counters the campaign engine would have produced, derived from the
+  // level tallies (same names as CampaignRunner's instrumented path —
+  // segmentation status counters are folded per capture above) plus the
+  // fault injector's activation stats for this level's captures.
+  if (diag != nullptr) {
+    obs::Registry& reg = diag->registry;
+    reg.add(reg.counter("capture.count"), r.captures);
+    reg.add(reg.counter("classify.ok"), r.ok_guesses);
+    reg.add(reg.counter("classify.low_confidence"), r.low_confidence_guesses);
+    reg.add(reg.counter("classify.abstained"), r.abstained_guesses);
+    reg.add(reg.counter("hints.perfect"), r.perfect_hints);
+    reg.add(reg.counter("hints.approximate"), r.approximate_hints);
+    reg.add(reg.counter("hints.sign_only"), r.sign_only_hints);
+    reg.add(reg.counter("hints.skipped"), r.dropped_hints);
+    const power::FaultStats& faults = campaign.fault_stats();
+    reg.add(reg.counter("faults.captures"), faults.captures);
+    reg.add(reg.counter("faults.dropped_samples"), faults.dropped_samples);
+    reg.add(reg.counter("faults.glitch_samples"), faults.glitch_samples);
+    reg.add(reg.counter("faults.burst_windows"), faults.burst_windows);
+    reg.add(reg.counter("faults.drifted_captures"), faults.drifted_captures);
+    reg.add(reg.counter("faults.clipped_samples"), faults.clipped_samples);
+    reg.add(reg.counter("faults.misaligned_captures"), faults.misaligned_captures);
+    reg.add(reg.counter("faults.warped_captures"), faults.warped_captures);
+  }
   return r;
 }
 
@@ -206,9 +288,14 @@ int main(int argc, char** argv) {
   const long workers_flag = bench::flag_value(argc, argv, "--workers", -1);
   WorkerPool pool(workers_flag < 0 ? default_num_workers()
                                    : static_cast<std::size_t>(workers_flag));
+  // --diag=<path>: per-level diagnostics sinks (one per level slot, so the
+  // fan-out stays race-free), merged in severity order afterwards.
+  const std::string diag_path = bench::flag_string(argc, argv, "--diag");
+  std::vector<CampaignDiagnostics> level_diags(diag_path.empty() ? 0 : levels.size());
   std::vector<LevelResult> results(levels.size());
   pool.run_indexed(levels.size(), [&](std::size_t i, std::size_t) {
-    results[i] = run_level(attack, clean, levels[i], captures_per_level, params, policy);
+    results[i] = run_level(attack, clean, levels[i], captures_per_level, params, policy,
+                           level_diags.empty() ? nullptr : &level_diags[i]);
   });
 
   for (const LevelResult& r : results) {
@@ -286,6 +373,17 @@ int main(int argc, char** argv) {
                monotone ? "true" : "false", wrong_total);
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
+
+  if (!diag_path.empty()) {
+    CampaignDiagnostics merged;
+    for (const CampaignDiagnostics& d : level_diags) {
+      merged.registry.merge(d.registry);
+      merged.tracer.merge(d.tracer);
+      merged.confusion.merge(d.confusion);
+    }
+    obs::write_json_file(merged.report(), diag_path);
+    std::printf("wrote %s\n", diag_path.c_str());
+  }
 
   return (monotone && wrong_total == 0) ? 0 : 1;
 }

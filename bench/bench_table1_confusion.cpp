@@ -6,9 +6,12 @@
 // entries = percent of that true value classified as the row label.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/attack.hpp"
+#include "obs/diagnostics.hpp"
+#include "obs/metrics.hpp"
 #include "sca/metrics.hpp"
 #include "sca/report.hpp"
 
@@ -39,9 +42,14 @@ int main(int argc, char** argv) {
   sca::ConfusionMatrix cm;
   sca::RankAccumulator ranks;
   std::size_t sign_correct = 0, sign_total = 0;
+  std::size_t captures = 0, skipped_captures = 0;
   for (std::uint64_t seed = 0; seed < attack_runs; ++seed) {
     const FullCapture cap = campaign.capture(900000 + seed);
-    if (cap.segments.size() != cfg.n) continue;
+    ++captures;
+    if (cap.segments.size() != cfg.n) {
+      ++skipped_captures;
+      continue;
+    }
     const auto guesses = attack.attack_capture(cap);
     for (std::size_t i = 0; i < guesses.size(); ++i) {
       cm.add(static_cast<std::int32_t>(cap.noise[i]), guesses[i].value);
@@ -89,5 +97,19 @@ int main(int argc, char** argv) {
       "shape checks: sign & zero at 100%; negatives well above positives\n"
       "  (vulnerability 3: the negation + modulus-subtract store); positive\n"
       "  values collide within Hamming-weight classes exactly as in the paper.");
+
+  // --diag=<path>: emit the exact confusion tallies this table was printed
+  // from as a DiagnosticsReport — campaign --diag output can be checked
+  // against it cell by cell (same seeds => same counts).
+  const std::string diag_path = bench::flag_string(argc, argv, "--diag");
+  if (!diag_path.empty()) {
+    obs::Registry reg;
+    reg.add(reg.counter("capture.count"), captures);
+    reg.add(reg.counter("capture.skipped"), skipped_captures);
+    reg.add(reg.counter("classify.windows"), sign_total);
+    reg.add(reg.counter("classify.sign_correct"), sign_correct);
+    obs::write_json_file(obs::make_report(reg, nullptr, &cm), diag_path);
+    std::printf("wrote %s\n", diag_path.c_str());
+  }
   return 0;
 }

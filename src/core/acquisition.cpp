@@ -65,7 +65,7 @@ void SamplerCampaign::capture_into(std::uint64_t seed, FullCapture& out) {
   // their capacity for the next capture.
   out.trace.assign(recorder_.samples().begin(), recorder_.samples().end());
   if (config_.faults.any()) {
-    out.trace = fault_injector_.apply(std::move(out.trace), seed);
+    out.trace = fault_injector_.apply(std::move(out.trace), seed, &fault_stats_);
   }
   out.noise = run.noise;
   out.segments = sca::segment_trace(out.trace, config_.segmentation);

@@ -96,6 +96,14 @@ class SamplerCampaign {
                                                           std::uint64_t seed_base,
                                                           std::size_t* rejected = nullptr);
 
+  /// Fault-injector activation counts accumulated over every capture this
+  /// campaign ran (all zero when config().faults is empty). Each count is a
+  /// pure function of (spec, capture seeds), so per-worker campaign
+  /// replicas merged in worker order reproduce the sequential tally.
+  [[nodiscard]] const power::FaultStats& fault_stats() const noexcept {
+    return fault_stats_;
+  }
+
  private:
   CampaignConfig config_;
   VictimProgram program_;
@@ -103,6 +111,7 @@ class SamplerCampaign {
   riscv::Machine machine_;
   power::TraceRecorder recorder_;       ///< persistent; rearmed per capture
   power::FaultInjector fault_injector_; ///< no-op when config_.faults is empty
+  power::FaultStats fault_stats_;       ///< accumulated across captures
 };
 
 /// Refines segment boundaries: anchors each window at the burst's falling

@@ -213,34 +213,9 @@ CoefficientGuess RevealAttack::attack_window(const std::vector<double>& window,
 RobustCaptureResult RevealAttack::attack_capture_robust(
     const std::vector<double>& trace, std::size_t expected_windows,
     const sca::SegmentationConfig& seg_config, WorkerPool* pool) const {
-  if (!trained()) throw std::logic_error("RevealAttack: train() first");
-  RobustCaptureResult out;
-  out.segmentation = sca::segment_trace_robust(trace, expected_windows, seg_config);
-  if (out.segmentation.status == sca::SegmentationStatus::kFailed) return out;
-
-  const double threshold = out.segmentation.config.threshold > 0.0
-                               ? out.segmentation.config.threshold
-                               : sca::auto_threshold(trace);
-  anchor_windows_at_burst_edge(trace, out.segmentation.segments, threshold);
-
-  auto window_guess = [&](std::size_t i) {
-    const sca::Segment& seg = out.segmentation.segments[i];
-    const std::vector<double> window(
-        trace.begin() + static_cast<std::ptrdiff_t>(seg.window_begin),
-        trace.begin() + static_cast<std::ptrdiff_t>(seg.window_end));
-    return attack_window(window, out.segmentation.window_quality[i]);
-  };
-  if (pool != nullptr && !pool->serial()) {
-    out.guesses.resize(out.segmentation.segments.size());
-    pool->run_indexed(out.guesses.size(),
-                      [&](std::size_t i, std::size_t) { out.guesses[i] = window_guess(i); });
-  } else {
-    out.guesses.reserve(out.segmentation.segments.size());
-    for (std::size_t i = 0; i < out.segmentation.segments.size(); ++i) {
-      out.guesses.push_back(window_guess(i));
-    }
-  }
-  return out;
+  obs::NullSpanTracer null_tracer;
+  return attack_capture_robust_traced(trace, expected_windows, seg_config, null_tracer,
+                                      0, pool);
 }
 
 std::vector<CoefficientGuess> RevealAttack::attack_capture(const FullCapture& capture,

@@ -16,6 +16,7 @@
 
 #include "core/acquisition.hpp"
 #include "core/parallel.hpp"
+#include "obs/span_tracer.hpp"
 #include "sca/classifier.hpp"
 #include "sca/template_attack.hpp"
 
@@ -141,6 +142,18 @@ class RevealAttack {
       const std::vector<double>& trace, std::size_t expected_windows,
       const sca::SegmentationConfig& seg_config, WorkerPool* pool = nullptr) const;
 
+  /// attack_capture_robust with pipeline-stage spans (segmentation /
+  /// classification) recorded into `tracer`, tagged with `capture_index`.
+  /// Templated on the tracer so the untraced entry point above — which
+  /// delegates here with obs::NullSpanTracer — compiles the instrumentation
+  /// away entirely: one body, two instantiations, byte-identical results
+  /// by construction (spans observe; no decision reads them).
+  template <typename TracerT>
+  [[nodiscard]] RobustCaptureResult attack_capture_robust_traced(
+      const std::vector<double>& trace, std::size_t expected_windows,
+      const sca::SegmentationConfig& seg_config, TracerT& tracer,
+      std::uint32_t capture_index = 0, WorkerPool* pool = nullptr) const;
+
  private:
   AttackConfig config_;
   sca::PatternClassifier sign_classifier_;
@@ -149,5 +162,45 @@ class RevealAttack {
   std::vector<std::size_t> pos_pois_;
   std::vector<std::size_t> neg_pois_;
 };
+
+template <typename TracerT>
+RobustCaptureResult RevealAttack::attack_capture_robust_traced(
+    const std::vector<double>& trace, std::size_t expected_windows,
+    const sca::SegmentationConfig& seg_config, TracerT& tracer,
+    std::uint32_t capture_index, WorkerPool* pool) const {
+  if (!trained()) throw std::logic_error("RevealAttack: train() first");
+  RobustCaptureResult out;
+  {
+    auto span = tracer.span(obs::Stage::kSegmentation, capture_index);
+    out.segmentation = sca::segment_trace_robust(trace, expected_windows, seg_config);
+    if (out.segmentation.status != sca::SegmentationStatus::kFailed) {
+      const double threshold = out.segmentation.config.threshold > 0.0
+                                   ? out.segmentation.config.threshold
+                                   : sca::auto_threshold(trace);
+      anchor_windows_at_burst_edge(trace, out.segmentation.segments, threshold);
+    }
+  }
+  if (out.segmentation.status == sca::SegmentationStatus::kFailed) return out;
+
+  auto span = tracer.span(obs::Stage::kClassification, capture_index);
+  auto window_guess = [&](std::size_t i) {
+    const sca::Segment& seg = out.segmentation.segments[i];
+    const std::vector<double> window(
+        trace.begin() + static_cast<std::ptrdiff_t>(seg.window_begin),
+        trace.begin() + static_cast<std::ptrdiff_t>(seg.window_end));
+    return attack_window(window, out.segmentation.window_quality[i]);
+  };
+  if (pool != nullptr && !pool->serial()) {
+    out.guesses.resize(out.segmentation.segments.size());
+    pool->run_indexed(out.guesses.size(),
+                      [&](std::size_t i, std::size_t) { out.guesses[i] = window_guess(i); });
+  } else {
+    out.guesses.reserve(out.segmentation.segments.size());
+    for (std::size_t i = 0; i < out.segmentation.segments.size(); ++i) {
+      out.guesses.push_back(window_guess(i));
+    }
+  }
+  return out;
+}
 
 }  // namespace reveal::core

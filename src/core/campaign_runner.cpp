@@ -38,11 +38,106 @@ class CampaignReplicas {
   /// worker's acquisition stops allocating after its first few captures.
   FullCapture& scratch_for(std::size_t w) { return scratch_[w]; }
 
+  [[nodiscard]] std::size_t slots() const noexcept { return replicas_.size(); }
+  /// The worker's replica, or null if that worker never captured.
+  [[nodiscard]] const SamplerCampaign* replica(std::size_t w) const noexcept {
+    return replicas_[w].get();
+  }
+
  private:
   CampaignConfig config_;
   std::vector<std::unique_ptr<SamplerCampaign>> replicas_;
   std::vector<FullCapture> scratch_;
 };
+
+/// Metric handles for one worker's registry, resolved once so the capture
+/// loop never does string lookups. Constructing this registers the full
+/// counter schema, so even idle workers contribute stable (zero-valued)
+/// names to the merged report.
+struct CampaignCounters {
+  explicit CampaignCounters(obs::Registry& reg)
+      : capture_count(reg.counter("capture.count")),
+        capture_faulted(reg.counter("capture.faulted")),
+        seg_attempts(reg.counter("segmentation.attempts")),
+        seg_retries(reg.counter("segmentation.retries")),
+        seg_ok(reg.counter("segmentation.ok")),
+        seg_recovered(reg.counter("segmentation.recovered")),
+        seg_degraded(reg.counter("segmentation.degraded")),
+        seg_failed(reg.counter("segmentation.failed")),
+        guess_ok(reg.counter("classify.ok")),
+        guess_low(reg.counter("classify.low_confidence")),
+        guess_abstained(reg.counter("classify.abstained")),
+        hints_perfect(reg.counter("hints.perfect")),
+        hints_approximate(reg.counter("hints.approximate")),
+        hints_sign_only(reg.counter("hints.sign_only")),
+        hints_skipped(reg.counter("hints.skipped")),
+        trace_samples_max(reg.gauge("capture.trace_samples.max")),
+        window_quality(reg.histogram("segmentation.window_quality", 0.0, 1.0, 20)) {}
+
+  obs::Registry::Id capture_count, capture_faulted;
+  obs::Registry::Id seg_attempts, seg_retries, seg_ok, seg_recovered, seg_degraded,
+      seg_failed;
+  obs::Registry::Id guess_ok, guess_low, guess_abstained;
+  obs::Registry::Id hints_perfect, hints_approximate, hints_sign_only, hints_skipped;
+  obs::Registry::Id trace_samples_max;
+  obs::Registry::Id window_quality;
+};
+
+/// One worker's private observability partial (merged in worker order).
+struct WorkerObs {
+  obs::Registry registry;
+  obs::SpanTracer tracer;
+  sca::ConfusionMatrix confusion;
+  CampaignCounters ids{registry};
+};
+
+/// Folds one finished capture's outcome into the worker's counters.
+void count_capture(WorkerObs& o, const CampaignConfig& config,
+                   const FullCapture& cap, const RobustCaptureResult& res,
+                   const std::vector<HintRecord>& records) {
+  obs::Registry& reg = o.registry;
+  const CampaignCounters& ids = o.ids;
+  reg.add(ids.capture_count);
+  if (config.faults.any()) reg.add(ids.capture_faulted);
+  reg.set_max(ids.trace_samples_max, static_cast<double>(cap.trace.size()));
+
+  reg.add(ids.seg_attempts, res.segmentation.attempts);
+  if (res.segmentation.attempts > 1)
+    reg.add(ids.seg_retries, res.segmentation.attempts - 1);
+  switch (res.segmentation.status) {
+    case sca::SegmentationStatus::kOk: reg.add(ids.seg_ok); break;
+    case sca::SegmentationStatus::kRecovered: reg.add(ids.seg_recovered); break;
+    case sca::SegmentationStatus::kDegraded: reg.add(ids.seg_degraded); break;
+    case sca::SegmentationStatus::kFailed: reg.add(ids.seg_failed); break;
+  }
+  for (const double q : res.segmentation.window_quality) reg.observe(ids.window_quality, q);
+
+  for (const CoefficientGuess& g : res.guesses) {
+    switch (g.quality) {
+      case GuessQuality::kOk: reg.add(ids.guess_ok); break;
+      case GuessQuality::kLowConfidence: reg.add(ids.guess_low); break;
+      case GuessQuality::kAbstained: reg.add(ids.guess_abstained); break;
+    }
+  }
+  for (const HintRecord& r : records) {
+    switch (r.kind) {
+      case HintRecord::Kind::kPerfect: reg.add(ids.hints_perfect); break;
+      case HintRecord::Kind::kApproximate: reg.add(ids.hints_approximate); break;
+      case HintRecord::Kind::kSignOnly: reg.add(ids.hints_sign_only); break;
+      case HintRecord::Kind::kSkipped: reg.add(ids.hints_skipped); break;
+    }
+  }
+
+  // Ground truth travels with the capture, so the per-class confusion of
+  // the paper's Table I falls out of the campaign for free — but only when
+  // every window produced a guess (a shorted segmentation loses the
+  // window <-> coefficient correspondence).
+  if (!res.guesses.empty() && res.guesses.size() == cap.noise.size()) {
+    for (std::size_t j = 0; j < res.guesses.size(); ++j) {
+      o.confusion.add(static_cast<std::int32_t>(cap.noise[j]), res.guesses[j].value);
+    }
+  }
+}
 
 }  // namespace
 
@@ -126,10 +221,21 @@ sca::ClassStats CampaignRunner::class_stats(const sca::TraceSet& set,
   return out;
 }
 
-RecoveryCampaignResult CampaignRunner::run_recovery_campaign(
-    const RevealAttack& attack, const CampaignConfig& config,
-    const std::vector<std::uint64_t>& seeds, const HintPolicy& policy,
-    const lwe::DbddParams& params) {
+namespace {
+
+/// The one campaign body, templated on whether a diagnostics sink is
+/// attached. kDiag=false instantiates with obs::NullSpanTracer and no
+/// counter code at all — it *is* the pre-observability pipeline, which is
+/// how "observability off changes nothing" holds by construction; the
+/// kDiag=true instantiation only ever reads pipeline outputs, so the two
+/// return byte-identical results (pinned by the equivalence suite).
+template <bool kDiag>
+RecoveryCampaignResult run_campaign_impl(WorkerPool& pool, const RevealAttack& attack,
+                                         const CampaignConfig& config,
+                                         const std::vector<std::uint64_t>& seeds,
+                                         const HintPolicy& policy,
+                                         const lwe::DbddParams& params,
+                                         CampaignDiagnostics* diag) {
   RecoveryCampaignResult out;
   out.captures.resize(seeds.size());
   out.hints.resize(seeds.size());
@@ -138,25 +244,68 @@ RecoveryCampaignResult CampaignRunner::run_recovery_campaign(
   // per-window attack stays sequential here (nesting run_indexed on the
   // same pool is not allowed), which is the right granularity anyway —
   // captures outnumber workers in every campaign-shaped sweep.
-  const std::size_t worker_slots = std::max<std::size_t>(pool_.num_workers(), 1);
+  const std::size_t worker_slots = std::max<std::size_t>(pool.num_workers(), 1);
   std::vector<HintTally> tallies(worker_slots);
-  CampaignReplicas replicas(config, pool_.num_workers());
-  pool_.run_indexed(seeds.size(), [&](std::size_t i, std::size_t w) {
+  CampaignReplicas replicas(config, pool.num_workers());
+  std::vector<WorkerObs> worker_obs(kDiag ? worker_slots : 0);
+  pool.run_indexed(seeds.size(), [&](std::size_t i, std::size_t w) {
     FullCapture& cap = replicas.scratch_for(w);
-    replicas.for_worker(w).capture_into(seeds[i], cap);
-    RobustCaptureResult res =
-        attack.attack_capture_robust(cap.trace, config.n, config.segmentation);
+    RobustCaptureResult res;
     std::vector<HintRecord> records;
-    if (res.segmentation.status != sca::SegmentationStatus::kFailed) {
-      records.reserve(res.guesses.size());
-      for (const CoefficientGuess& g : res.guesses) {
-        records.push_back(route_guess(g, policy));
-        tallies[w].add(records.back());
+    auto route_records = [&] {
+      if (res.segmentation.status != sca::SegmentationStatus::kFailed) {
+        records.reserve(res.guesses.size());
+        for (const CoefficientGuess& g : res.guesses) {
+          records.push_back(route_guess(g, policy));
+          tallies[w].add(records.back());
+        }
       }
+    };
+    if constexpr (kDiag) {
+      WorkerObs& o = worker_obs[w];
+      const auto index = static_cast<std::uint32_t>(i);
+      {
+        auto span = o.tracer.span(obs::Stage::kCapture, index);
+        replicas.for_worker(w).capture_into(seeds[i], cap);
+      }
+      res = attack.attack_capture_robust_traced(cap.trace, config.n,
+                                                config.segmentation, o.tracer, index);
+      {
+        auto span = o.tracer.span(obs::Stage::kHints, index);
+        route_records();
+      }
+      count_capture(o, config, cap, res, records);
+    } else {
+      replicas.for_worker(w).capture_into(seeds[i], cap);
+      res = attack.attack_capture_robust(cap.trace, config.n, config.segmentation);
+      route_records();
     }
     out.captures[i] = std::move(res);
     out.hints[i] = std::move(records);
   });
+
+  if constexpr (kDiag) {
+    // Fold the per-worker partials in worker-index order (the campaign
+    // merge contract) and the replica-level fault stats the same way.
+    for (const WorkerObs& o : worker_obs) {
+      diag->registry.merge(o.registry);
+      diag->tracer.merge(o.tracer);
+      diag->confusion.merge(o.confusion);
+    }
+    power::FaultStats faults;
+    for (std::size_t w = 0; w < replicas.slots(); ++w) {
+      if (replicas.replica(w) != nullptr) faults.merge(replicas.replica(w)->fault_stats());
+    }
+    obs::Registry& reg = diag->registry;
+    reg.add(reg.counter("faults.captures"), faults.captures);
+    reg.add(reg.counter("faults.dropped_samples"), faults.dropped_samples);
+    reg.add(reg.counter("faults.glitch_samples"), faults.glitch_samples);
+    reg.add(reg.counter("faults.burst_windows"), faults.burst_windows);
+    reg.add(reg.counter("faults.drifted_captures"), faults.drifted_captures);
+    reg.add(reg.counter("faults.clipped_samples"), faults.clipped_samples);
+    reg.add(reg.counter("faults.misaligned_captures"), faults.misaligned_captures);
+    reg.add(reg.counter("faults.warped_captures"), faults.warped_captures);
+  }
 
   // Merge the per-worker counter partials in worker-index order, then
   // cross-check them against an ordered recount. The integer counters of
@@ -182,10 +331,21 @@ RecoveryCampaignResult CampaignRunner::run_recovery_campaign(
   // thread — its state update is floating-point order-sensitive, so this is
   // the only scheduling-independent way to integrate.
   lwe::DbddEstimator estimator(params);
-  for (const auto& records : out.hints) {
-    for (const HintRecord& r : records) apply_hint(estimator, r);
+  lwe::SecurityEstimate estimate;
+  {
+    auto integrate = [&] {
+      for (const auto& records : out.hints) {
+        for (const HintRecord& r : records) apply_hint(estimator, r);
+      }
+      estimate = estimator.estimate();
+    };
+    if constexpr (kDiag) {
+      auto span = diag->tracer.span(obs::Stage::kEstimation);
+      integrate();
+    } else {
+      integrate();
+    }
   }
-  const lwe::SecurityEstimate estimate = estimator.estimate();
 
   sca::RecoveryReport& rep = out.report;
   rep.expected_windows = seeds.size() * config.n;
@@ -214,6 +374,18 @@ RecoveryCampaignResult CampaignRunner::run_recovery_campaign(
   rep.bikz = estimate.beta;
   rep.bits = estimate.bits;
   return out;
+}
+
+}  // namespace
+
+RecoveryCampaignResult CampaignRunner::run_recovery_campaign(
+    const RevealAttack& attack, const CampaignConfig& config,
+    const std::vector<std::uint64_t>& seeds, const HintPolicy& policy,
+    const lwe::DbddParams& params, CampaignDiagnostics* diag) {
+  if (diag != nullptr) {
+    return run_campaign_impl<true>(pool_, attack, config, seeds, policy, params, diag);
+  }
+  return run_campaign_impl<false>(pool_, attack, config, seeds, policy, params, nullptr);
 }
 
 }  // namespace reveal::core

@@ -35,6 +35,9 @@
 #include "core/hints.hpp"
 #include "core/parallel.hpp"
 #include "lwe/dbdd.hpp"
+#include "obs/diagnostics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 #include "sca/class_stats.hpp"
 #include "sca/report.hpp"
 
@@ -46,6 +49,27 @@ struct RecoveryCampaignResult {
   std::vector<std::vector<HintRecord>> hints;  ///< per capture, in window order
   HintSummary hint_totals;                     ///< over all captures
   sca::RecoveryReport report;  ///< aggregate stage counters + residual estimate
+};
+
+/// Observability sink for run_recovery_campaign. Passing one enables the
+/// instrumented pipeline instantiation: per-stage spans land in `tracer`,
+/// retry/abstention/downgrade/fault counters in `registry`, and — when the
+/// ground-truth noise is available — per-class confusion tallies in
+/// `confusion` (the same (truth, predicted-value) tally bench_table1_
+/// confusion prints). Everything here is *derived* from the campaign's
+/// outputs: the RecoveryCampaignResult is byte-identical with or without a
+/// sink, enforced by tests/test_campaign_equivalence.cpp. Counters,
+/// histogram buckets and confusion counts are integers accumulated per
+/// worker and merged in worker-index order, so they are worker-count
+/// invariant; span timings are wall-clock observations and are not.
+struct CampaignDiagnostics {
+  obs::Registry registry;
+  obs::SpanTracer tracer;
+  sca::ConfusionMatrix confusion;
+
+  [[nodiscard]] obs::DiagnosticsReport report() const {
+    return obs::make_report(registry, &tracer, &confusion);
+  }
 };
 
 class CampaignRunner {
@@ -110,10 +134,15 @@ class CampaignRunner {
   /// the workers, then ordered hint integration and the security estimate
   /// on the calling thread. Throws std::logic_error if the merged per-worker
   /// tallies disagree with the ordered recount (a lost-update symptom).
+  ///
+  /// `diag` (optional) collects observability data — spans, counters,
+  /// confusion — without changing a single output byte; when null, the
+  /// pipeline runs the NullSpanTracer instantiation and no instrumentation
+  /// code executes at all.
   [[nodiscard]] RecoveryCampaignResult run_recovery_campaign(
       const RevealAttack& attack, const CampaignConfig& config,
       const std::vector<std::uint64_t>& seeds, const HintPolicy& policy,
-      const lwe::DbddParams& params);
+      const lwe::DbddParams& params, CampaignDiagnostics* diag = nullptr);
 
  private:
   WorkerPool pool_;

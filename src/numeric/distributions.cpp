@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <stdexcept>
 
@@ -92,13 +93,43 @@ std::vector<double> normalize_probabilities(std::vector<double> scores) {
 
 std::vector<double> log_scores_to_posterior(const std::vector<double>& log_scores) {
   if (log_scores.empty()) return {};
-  const double max_score = *std::max_element(log_scores.begin(), log_scores.end());
+  // Max-subtracted softmax. NaN scores (inf - inf in an upstream factored
+  // quadratic form at extreme Mahalanobis distances) carry no usable mass
+  // and are excluded from the max, so one poisoned class cannot NaN the
+  // whole posterior.
+  double max_score = -std::numeric_limits<double>::infinity();
+  for (const double s : log_scores) {
+    if (!std::isnan(s) && s > max_score) max_score = s;
+  }
+  if (!std::isfinite(max_score)) {
+    // +inf best score: certainty concentrated on the (tied) +inf classes.
+    // All scores -inf or NaN: every class underflowed — no information,
+    // which is a uniform posterior, not the NaN that exp(-inf - -inf)
+    // would produce.
+    std::vector<double> probs(log_scores.size(), 0.0);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < log_scores.size(); ++i) {
+      if (log_scores[i] == max_score) ++hits;
+    }
+    if (hits == 0) {
+      std::fill(probs.begin(), probs.end(),
+                1.0 / static_cast<double>(log_scores.size()));
+      return probs;
+    }
+    const double p = 1.0 / static_cast<double>(hits);
+    for (std::size_t i = 0; i < log_scores.size(); ++i) {
+      if (log_scores[i] == max_score) probs[i] = p;
+    }
+    return probs;
+  }
   std::vector<double> probs(log_scores.size());
   double total = 0.0;
   for (std::size_t i = 0; i < log_scores.size(); ++i) {
-    probs[i] = std::exp(log_scores[i] - max_score);
+    probs[i] = std::isnan(log_scores[i]) ? 0.0 : std::exp(log_scores[i] - max_score);
     total += probs[i];
   }
+  // total >= exp(0) = 1 (the max survives the subtraction), so the divide
+  // can never be 0/0 here.
   for (double& p : probs) p /= total;
   return probs;
 }

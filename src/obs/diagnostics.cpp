@@ -1,0 +1,388 @@
+#include "obs/diagnostics.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace reveal::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  // %.17g round-trips every finite IEEE-754 double through strtod exactly.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i32(std::string& out, std::int32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%" PRId32, v);
+  out += buf;
+}
+
+void append_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+/// Strict recursive-descent parser for the document shape to_json emits
+/// (objects, arrays, strings, numbers — no null/bool, no nested extras).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : p_(text.c_str()), end_(p_ + text.size()) {}
+
+  [[nodiscard]] DiagnosticsReport parse() {
+    DiagnosticsReport report;
+    expect('{');
+    bool first = true;
+    while (!peek_is('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "dropped_events") {
+        report.dropped_events = parse_u64();
+      } else if (key == "stages") {
+        parse_array([&] { report.stages.push_back(parse_stage_row()); });
+      } else if (key == "counters") {
+        parse_array([&] { report.counters.push_back(parse_counter_row()); });
+      } else if (key == "gauges") {
+        parse_array([&] { report.gauges.push_back(parse_gauge_row()); });
+      } else if (key == "histograms") {
+        parse_array([&] { report.histograms.push_back(parse_histogram_row()); });
+      } else if (key == "confusion") {
+        parse_array([&] { report.confusion.push_back(parse_confusion_row()); });
+      } else {
+        fail("unknown top-level key '" + key + "'");
+      }
+    }
+    expect('}');
+    skip_ws();
+    if (p_ != end_) fail("trailing characters after document");
+    return report;
+  }
+
+ private:
+  template <typename RowFn>
+  void parse_array(RowFn&& row) {
+    expect('[');
+    bool first = true;
+    while (!peek_is(']')) {
+      if (!first) expect(',');
+      first = false;
+      row();
+    }
+    expect(']');
+  }
+
+  /// Parses `{"k": v, ...}` dispatching each key through `field`.
+  template <typename FieldFn>
+  void parse_object(FieldFn&& field) {
+    expect('{');
+    bool first = true;
+    while (!peek_is('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      field(key);
+    }
+    expect('}');
+  }
+
+  DiagnosticsReport::StageRow parse_stage_row() {
+    DiagnosticsReport::StageRow row;
+    parse_object([&](const std::string& key) {
+      if (key == "stage") row.stage = parse_string();
+      else if (key == "count") row.count = parse_u64();
+      else if (key == "total_ns") row.total_ns = parse_u64();
+      else if (key == "min_ns") row.min_ns = parse_u64();
+      else if (key == "max_ns") row.max_ns = parse_u64();
+      else fail("unknown stage-row key '" + key + "'");
+    });
+    return row;
+  }
+
+  DiagnosticsReport::CounterRow parse_counter_row() {
+    DiagnosticsReport::CounterRow row;
+    parse_object([&](const std::string& key) {
+      if (key == "name") row.name = parse_string();
+      else if (key == "value") row.value = parse_u64();
+      else fail("unknown counter-row key '" + key + "'");
+    });
+    return row;
+  }
+
+  DiagnosticsReport::GaugeRow parse_gauge_row() {
+    DiagnosticsReport::GaugeRow row;
+    parse_object([&](const std::string& key) {
+      if (key == "name") row.name = parse_string();
+      else if (key == "value") row.value = parse_double();
+      else fail("unknown gauge-row key '" + key + "'");
+    });
+    return row;
+  }
+
+  DiagnosticsReport::HistogramRow parse_histogram_row() {
+    DiagnosticsReport::HistogramRow row;
+    parse_object([&](const std::string& key) {
+      if (key == "name") row.name = parse_string();
+      else if (key == "lo") row.lo = parse_double();
+      else if (key == "hi") row.hi = parse_double();
+      else if (key == "sum") row.sum = parse_double();
+      else if (key == "counts") parse_array([&] { row.counts.push_back(parse_u64()); });
+      else fail("unknown histogram-row key '" + key + "'");
+    });
+    return row;
+  }
+
+  DiagnosticsReport::ConfusionRow parse_confusion_row() {
+    DiagnosticsReport::ConfusionRow row;
+    parse_object([&](const std::string& key) {
+      if (key == "truth") row.truth = parse_i32();
+      else if (key == "predicted") row.predicted = parse_i32();
+      else if (key == "count") row.count = parse_u64();
+      else fail("unknown confusion-row key '" + key + "'");
+    });
+    return row;
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    if (p_ == end_ || *p_ != '"') fail("expected string");
+    ++p_;
+    std::string out;
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) fail("unterminated escape");
+        switch (*p_) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: fail("unsupported escape");
+        }
+        ++p_;
+      } else {
+        out += *p_++;
+      }
+    }
+    if (p_ == end_) fail("unterminated string");
+    ++p_;
+    return out;
+  }
+
+  const char* number_start() {
+    skip_ws();
+    if (p_ == end_) fail("expected number");
+    return p_;
+  }
+
+  double parse_double() {
+    const char* start = number_start();
+    char* after = nullptr;
+    errno = 0;
+    const double v = std::strtod(start, &after);
+    if (after == start) fail("expected number");
+    p_ = after;
+    return v;
+  }
+
+  std::uint64_t parse_u64() {
+    const char* start = number_start();
+    if (*start == '-') fail("expected unsigned integer");
+    char* after = nullptr;
+    errno = 0;
+    const std::uint64_t v = std::strtoull(start, &after, 10);
+    if (after == start || errno == ERANGE) fail("expected unsigned integer");
+    p_ = after;
+    return v;
+  }
+
+  std::int32_t parse_i32() {
+    const char* start = number_start();
+    char* after = nullptr;
+    errno = 0;
+    const long v = std::strtol(start, &after, 10);
+    if (after == start || errno == ERANGE || v < INT32_MIN || v > INT32_MAX)
+      fail("expected 32-bit integer");
+    p_ = after;
+    return static_cast<std::int32_t>(v);
+  }
+
+  void skip_ws() {
+    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  }
+
+  bool peek_is(char c) {
+    skip_ws();
+    return p_ != end_ && *p_ == c;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (p_ == end_ || *p_ != c)
+      fail(std::string("expected '") + c + "'");
+    ++p_;
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("DiagnosticsReport::from_json: " + what);
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+std::string DiagnosticsReport::to_json() const {
+  std::string out;
+  out.reserve(1024);
+  out += "{\n  \"dropped_events\": ";
+  append_u64(out, dropped_events);
+  out += ",\n  \"stages\": [";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageRow& r = stages[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"stage\": ";
+    append_string(out, r.stage);
+    out += ", \"count\": ";
+    append_u64(out, r.count);
+    out += ", \"total_ns\": ";
+    append_u64(out, r.total_ns);
+    out += ", \"min_ns\": ";
+    append_u64(out, r.min_ns);
+    out += ", \"max_ns\": ";
+    append_u64(out, r.max_ns);
+    out += "}";
+  }
+  out += stages.empty() ? "]" : "\n  ]";
+  out += ",\n  \"counters\": [";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_string(out, counters[i].name);
+    out += ", \"value\": ";
+    append_u64(out, counters[i].value);
+    out += "}";
+  }
+  out += counters.empty() ? "]" : "\n  ]";
+  out += ",\n  \"gauges\": [";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_string(out, gauges[i].name);
+    out += ", \"value\": ";
+    append_double(out, gauges[i].value);
+    out += "}";
+  }
+  out += gauges.empty() ? "]" : "\n  ]";
+  out += ",\n  \"histograms\": [";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramRow& r = histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_string(out, r.name);
+    out += ", \"lo\": ";
+    append_double(out, r.lo);
+    out += ", \"hi\": ";
+    append_double(out, r.hi);
+    out += ", \"counts\": [";
+    for (std::size_t b = 0; b < r.counts.size(); ++b) {
+      if (b != 0) out += ", ";
+      append_u64(out, r.counts[b]);
+    }
+    out += "], \"sum\": ";
+    append_double(out, r.sum);
+    out += "}";
+  }
+  out += histograms.empty() ? "]" : "\n  ]";
+  out += ",\n  \"confusion\": [";
+  for (std::size_t i = 0; i < confusion.size(); ++i) {
+    const ConfusionRow& r = confusion[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"truth\": ";
+    append_i32(out, r.truth);
+    out += ", \"predicted\": ";
+    append_i32(out, r.predicted);
+    out += ", \"count\": ";
+    append_u64(out, r.count);
+    out += "}";
+  }
+  out += confusion.empty() ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
+}
+
+DiagnosticsReport DiagnosticsReport::from_json(const std::string& json) {
+  return Parser(json).parse();
+}
+
+DiagnosticsReport make_report(const Registry& registry, const SpanTracer* tracer,
+                              const sca::ConfusionMatrix* confusion) {
+  DiagnosticsReport report;
+  if (tracer != nullptr) {
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const StageTiming& t = tracer->timings()[s];
+      if (t.count == 0) continue;  // untouched stages do not pad the report
+      report.stages.push_back({to_string(static_cast<Stage>(s)), t.count, t.total_ns,
+                               t.min_ns, t.max_ns});
+    }
+    report.dropped_events = tracer->dropped();
+  }
+  for (const std::string& name : registry.names(MetricKind::kCounter)) {
+    report.counters.push_back({name, registry.counter_value(name)});
+  }
+  for (const std::string& name : registry.names(MetricKind::kGauge)) {
+    report.gauges.push_back({name, registry.gauge_value(name)});
+  }
+  for (const std::string& name : registry.names(MetricKind::kHistogram)) {
+    const LatencyHistogram& h = registry.histogram_values(name);
+    report.histograms.push_back({name, h.lo(), h.hi(), h.counts(), h.sum()});
+  }
+  if (confusion != nullptr) {
+    for (const std::int32_t truth : confusion->truths()) {
+      for (const std::int32_t predicted : confusion->predictions()) {
+        const std::size_t c = confusion->count(truth, predicted);
+        if (c == 0) continue;
+        report.confusion.push_back(
+            {truth, predicted, static_cast<std::uint64_t>(c)});
+      }
+    }
+  }
+  return report;
+}
+
+void write_json_file(const DiagnosticsReport& report, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    throw std::runtime_error("obs::write_json_file: cannot open " + path);
+  const std::string json = report.to_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int closed = std::fclose(f);
+  if (written != json.size() || closed != 0)
+    throw std::runtime_error("obs::write_json_file: short write to " + path);
+}
+
+}  // namespace reveal::obs

@@ -1,0 +1,113 @@
+#include "obs/span_tracer.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace reveal::obs {
+
+const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kCapture: return "capture";
+    case Stage::kSegmentation: return "segmentation";
+    case Stage::kClassification: return "classification";
+    case Stage::kHints: return "hints";
+    case Stage::kEstimation: return "estimation";
+  }
+  return "?";
+}
+
+void StageTiming::add(std::uint64_t duration_ns) noexcept {
+  if (count == 0) {
+    min_ns = duration_ns;
+    max_ns = duration_ns;
+  } else {
+    if (duration_ns < min_ns) min_ns = duration_ns;
+    if (duration_ns > max_ns) max_ns = duration_ns;
+  }
+  ++count;
+  total_ns += duration_ns;
+}
+
+void StageTiming::merge(const StageTiming& other) noexcept {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  total_ns += other.total_ns;
+  if (other.min_ns < min_ns) min_ns = other.min_ns;
+  if (other.max_ns > max_ns) max_ns = other.max_ns;
+}
+
+SpanTracer::SpanTracer(std::size_t ring_capacity) : ring_(ring_capacity) {
+  if (ring_capacity == 0)
+    throw std::invalid_argument("SpanTracer: ring capacity must be >= 1");
+}
+
+SpanTracer::Span::Span(SpanTracer* tracer, Stage stage, std::uint32_t index) noexcept
+    : tracer_(tracer), stage_(stage), index_(index), begin_ns_(now_ns()) {}
+
+SpanTracer::Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_),
+      stage_(other.stage_),
+      index_(other.index_),
+      begin_ns_(other.begin_ns_) {
+  other.tracer_ = nullptr;
+}
+
+SpanTracer::Span& SpanTracer::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    if (tracer_ != nullptr) tracer_->record(stage_, index_, begin_ns_, now_ns());
+    tracer_ = other.tracer_;
+    stage_ = other.stage_;
+    index_ = other.index_;
+    begin_ns_ = other.begin_ns_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+SpanTracer::Span::~Span() {
+  if (tracer_ != nullptr) tracer_->record(stage_, index_, begin_ns_, now_ns());
+}
+
+void SpanTracer::record(Stage stage, std::uint32_t index, std::uint64_t begin_ns,
+                        std::uint64_t end_ns) {
+  const std::uint64_t duration = end_ns >= begin_ns ? end_ns - begin_ns : 0;
+  timings_.at(static_cast<std::size_t>(stage)).add(duration);
+  push_event(SpanEvent{stage, index, begin_ns, end_ns});
+}
+
+void SpanTracer::push_event(const SpanEvent& e) {
+  if (filled_ == ring_.size()) ++dropped_;  // overwriting the oldest event
+  ring_[next_] = e;
+  next_ = (next_ + 1) % ring_.size();
+  if (filled_ < ring_.size()) ++filled_;
+}
+
+std::vector<SpanEvent> SpanTracer::events() const {
+  std::vector<SpanEvent> out;
+  out.reserve(filled_);
+  // Oldest event sits at next_ when the ring has wrapped, at 0 otherwise.
+  const std::size_t start = filled_ == ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < filled_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void SpanTracer::merge(const SpanTracer& other) {
+  for (std::size_t s = 0; s < kStageCount; ++s) timings_[s].merge(other.timings_[s]);
+  dropped_ += other.dropped_;
+  for (const SpanEvent& e : other.events()) push_event(e);
+}
+
+std::uint64_t SpanTracer::now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace reveal::obs

@@ -45,21 +45,29 @@ std::vector<double> FaultInjector::time_warp(const std::vector<double>& trace,
   return out;
 }
 
-void FaultInjector::drop_samples(std::vector<double>& trace, double rate,
-                                 num::Xoshiro256StarStar& rng) {
-  if (rate <= 0.0) return;
+std::size_t FaultInjector::drop_samples(std::vector<double>& trace, double rate,
+                                        num::Xoshiro256StarStar& rng) {
+  if (rate <= 0.0) return 0;
   if (rate >= 1.0) throw std::invalid_argument("FaultInjector: dropout_rate must be < 1");
+  std::size_t dropped = 0;
   for (std::size_t i = 1; i < trace.size(); ++i) {
-    if (rng.bernoulli(rate)) trace[i] = trace[i - 1];
+    if (rng.bernoulli(rate)) {
+      trace[i] = trace[i - 1];
+      ++dropped;
+    }
   }
+  return dropped;
 }
 
 std::vector<double> FaultInjector::misalign_trigger(const std::vector<double>& trace,
                                                     std::size_t max_shift,
-                                                    num::Xoshiro256StarStar& rng) {
+                                                    num::Xoshiro256StarStar& rng,
+                                                    std::int64_t* shift_out) {
+  if (shift_out != nullptr) *shift_out = 0;
   if (max_shift == 0 || trace.empty()) return trace;
   const auto bound = static_cast<std::int64_t>(std::min(max_shift, trace.size() - 1));
   const std::int64_t shift = rng.uniform_int(-bound, bound);
+  if (shift_out != nullptr) *shift_out = shift;
   if (shift == 0) return trace;
   if (shift > 0) {
     // Late trigger: the head of the trace was never captured.
@@ -111,27 +119,64 @@ void FaultInjector::add_drift(std::vector<double>& trace, double sigma,
   }
 }
 
-void FaultInjector::clip_samples(std::vector<double>& trace, double lo, double hi) {
+std::size_t FaultInjector::clip_samples(std::vector<double>& trace, double lo, double hi) {
   if (!(hi > lo)) throw std::invalid_argument("FaultInjector: empty clip range");
-  for (double& v : trace) v = std::clamp(v, lo, hi);
+  std::size_t clipped = 0;
+  for (double& v : trace) {
+    if (v < lo || v > hi) ++clipped;
+    v = std::clamp(v, lo, hi);
+  }
+  return clipped;
+}
+
+void FaultStats::merge(const FaultStats& other) noexcept {
+  captures += other.captures;
+  dropped_samples += other.dropped_samples;
+  glitch_samples += other.glitch_samples;
+  burst_windows += other.burst_windows;
+  drifted_captures += other.drifted_captures;
+  clipped_samples += other.clipped_samples;
+  misaligned_captures += other.misaligned_captures;
+  warped_captures += other.warped_captures;
 }
 
 std::vector<double> FaultInjector::apply(std::vector<double> trace,
-                                         std::uint64_t capture_seed) const {
+                                         std::uint64_t capture_seed,
+                                         FaultStats* stats) const {
   if (!spec_.any()) return trace;
+  if (stats != nullptr) ++stats->captures;
   // One stream per capture; stage order is fixed so a spec + seed pair
-  // always produces the same corruption.
+  // always produces the same corruption. Stats recording is observation
+  // only: it reads counts the stages produce anyway and never adds RNG
+  // draws, so a traced run corrupts bit-identically to an untraced one.
   std::uint64_t mix = spec_.seed;
   mix ^= capture_seed + 0x9E3779B97F4A7C15ULL + (mix << 6) + (mix >> 2);
   num::Xoshiro256StarStar rng(mix);
-  if (spec_.jitter_sigma > 0.0) trace = time_warp(trace, spec_.jitter_sigma, rng);
-  drop_samples(trace, spec_.dropout_rate, rng);
-  if (spec_.trigger_misalign > 0)
-    trace = misalign_trigger(trace, spec_.trigger_misalign, rng);
+  if (spec_.jitter_sigma > 0.0) {
+    trace = time_warp(trace, spec_.jitter_sigma, rng);
+    if (stats != nullptr) ++stats->warped_captures;
+  }
+  const std::size_t dropped = drop_samples(trace, spec_.dropout_rate, rng);
+  if (stats != nullptr) stats->dropped_samples += dropped;
+  if (spec_.trigger_misalign > 0) {
+    std::int64_t shift = 0;
+    trace = misalign_trigger(trace, spec_.trigger_misalign, rng, &shift);
+    if (stats != nullptr && shift != 0) ++stats->misaligned_captures;
+  }
   add_glitches(trace, spec_.glitch_count, spec_.glitch_amplitude, rng);
+  if (stats != nullptr && spec_.glitch_count > 0 && !trace.empty())
+    stats->glitch_samples += spec_.glitch_count;
   add_burst_noise(trace, spec_.burst_count, spec_.burst_length, spec_.burst_sigma, rng);
+  if (stats != nullptr && spec_.burst_count > 0 && spec_.burst_length > 0 &&
+      spec_.burst_sigma > 0.0 && !trace.empty())
+    stats->burst_windows += spec_.burst_count;
   add_drift(trace, spec_.drift_sigma, rng);
-  if (spec_.clip) clip_samples(trace, spec_.clip_lo, spec_.clip_hi);
+  if (stats != nullptr && spec_.drift_sigma > 0.0 && !trace.empty())
+    ++stats->drifted_captures;
+  if (spec_.clip) {
+    const std::size_t clipped = clip_samples(trace, spec_.clip_lo, spec_.clip_hi);
+    if (stats != nullptr) stats->clipped_samples += clipped;
+  }
   return trace;
 }
 

@@ -69,6 +69,27 @@ struct FaultSpec {
   [[nodiscard]] double severity() const noexcept;
 };
 
+/// What the injector actually did to the traces it processed — integer
+/// activation counts per fault class, accumulated across captures. Every
+/// count is a pure function of (spec, capture seeds), so per-worker
+/// partials merged in any order equal the sequential tally (the campaign
+/// worker-count-invariance contract); the campaign surfaces them as
+/// "faults.*" obs counters.
+struct FaultStats {
+  std::uint64_t captures = 0;             ///< traces run through apply()
+  std::uint64_t dropped_samples = 0;      ///< sample-and-hold repeats
+  std::uint64_t glitch_samples = 0;       ///< isolated amplitude spikes
+  std::uint64_t burst_windows = 0;        ///< burst-noise windows injected
+  std::uint64_t drifted_captures = 0;     ///< captures with baseline drift
+  std::uint64_t clipped_samples = 0;      ///< samples clamped at a rail
+  std::uint64_t misaligned_captures = 0;  ///< captures with a nonzero shift
+  std::uint64_t warped_captures = 0;      ///< captures with clock jitter
+
+  void merge(const FaultStats& other) noexcept;
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
 /// Applies a FaultSpec to traces. Stateless across captures: the fault
 /// randomness for one capture depends only on (spec.seed, capture_seed).
 class FaultInjector {
@@ -79,19 +100,25 @@ class FaultInjector {
 
   /// Applies every enabled fault, in acquisition order (time warp, dropout,
   /// trigger misalignment, glitches, burst noise, drift, clipping). A
-  /// disabled spec returns the input bit-identically.
+  /// disabled spec returns the input bit-identically. `stats` (optional)
+  /// accumulates the activation counts; recording never changes the trace
+  /// or the random streams.
   [[nodiscard]] std::vector<double> apply(std::vector<double> trace,
-                                          std::uint64_t capture_seed) const;
+                                          std::uint64_t capture_seed,
+                                          FaultStats* stats = nullptr) const;
 
-  // Individual stages, exposed for unit tests. Each draws from `rng`.
+  // Individual stages, exposed for unit tests. Each draws from `rng`; the
+  // in-place stages return how many samples they touched.
   [[nodiscard]] static std::vector<double> time_warp(const std::vector<double>& trace,
                                                      double jitter_sigma,
                                                      num::Xoshiro256StarStar& rng);
-  static void drop_samples(std::vector<double>& trace, double rate,
-                           num::Xoshiro256StarStar& rng);
+  static std::size_t drop_samples(std::vector<double>& trace, double rate,
+                                  num::Xoshiro256StarStar& rng);
+  /// `shift_out` (optional) receives the drawn trigger shift (0 = aligned).
   [[nodiscard]] static std::vector<double> misalign_trigger(const std::vector<double>& trace,
                                                             std::size_t max_shift,
-                                                            num::Xoshiro256StarStar& rng);
+                                                            num::Xoshiro256StarStar& rng,
+                                                            std::int64_t* shift_out = nullptr);
   static void add_glitches(std::vector<double>& trace, std::size_t count, double amplitude,
                            num::Xoshiro256StarStar& rng);
   static void add_burst_noise(std::vector<double>& trace, std::size_t count,
@@ -99,7 +126,7 @@ class FaultInjector {
                               num::Xoshiro256StarStar& rng);
   static void add_drift(std::vector<double>& trace, double sigma,
                         num::Xoshiro256StarStar& rng);
-  static void clip_samples(std::vector<double>& trace, double lo, double hi);
+  static std::size_t clip_samples(std::vector<double>& trace, double lo, double hi);
 
  private:
   FaultSpec spec_;

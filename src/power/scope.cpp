@@ -6,7 +6,9 @@
 
 namespace reveal::power {
 
-std::vector<double> acquire(const std::vector<double>& raw, const ScopeParams& params) {
+std::vector<double> acquire(const std::vector<double>& raw, const ScopeParams& params,
+                            std::size_t* clipped_samples) {
+  if (clipped_samples != nullptr) *clipped_samples = 0;
   if (params.bandwidth_window == 0 || params.decimation == 0)
     throw std::invalid_argument("scope::acquire: window/decimation must be >= 1");
   if (params.quantize_8bit && !(params.range_hi > params.range_lo))
@@ -39,9 +41,32 @@ std::vector<double> acquire(const std::vector<double>& raw, const ScopeParams& p
 
   // ADC quantization.
   if (params.quantize_8bit) {
-    for (double& v : out) v = quantize_8bit_sample(v, params.range_lo, params.range_hi);
+    std::size_t clips = 0;
+    for (double& v : out) {
+      bool clipped = false;
+      const std::uint8_t code =
+          quantize_8bit_code(v, params.range_lo, params.range_hi, &clipped);
+      clips += clipped ? 1 : 0;
+      v = params.range_lo + static_cast<double>(code) / 255.0 *
+                                (params.range_hi - params.range_lo);
+    }
+    if (clipped_samples != nullptr) *clipped_samples = clips;
   }
   return out;
+}
+
+std::uint8_t quantize_8bit_code(double v, double lo, double hi, bool* clipped) {
+  if (!(hi > lo)) throw std::invalid_argument("quantize_8bit_code: empty range");
+  const bool rail = v < lo || v > hi;
+  if (clipped != nullptr) *clipped = rail;
+  const double clamped = std::clamp(v, lo, hi);  // rail clipping before conversion
+  const double span = hi - lo;
+  // (hi - lo) / span == 1 exactly, so the top of the range scales to 255.0
+  // and rounds to 255; the min() is a belt-and-braces guard that pins any
+  // conceivable last-ulp spill to the top code instead of letting the
+  // uint8 cast wrap 256 to code 0.
+  const double code = std::min(255.0, std::round((clamped - lo) / span * 255.0));
+  return static_cast<std::uint8_t>(code);
 }
 
 double quantize_8bit_sample(double v, double lo, double hi) {

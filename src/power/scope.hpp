@@ -26,13 +26,27 @@ struct ScopeParams {
   double range_hi = 64.0;
 };
 
-/// Applies the acquisition chain to a raw per-cycle power trace.
+/// Applies the acquisition chain to a raw per-cycle power trace. When
+/// `clipped_samples` is non-null it receives the number of samples the
+/// 8-bit quantizer clamped at a rail (0 when quantization is off) — rail
+/// hits are otherwise indistinguishable from in-range codes downstream,
+/// which silently corrupts template observations; campaigns surface the
+/// count as an obs counter.
 [[nodiscard]] std::vector<double> acquire(const std::vector<double>& raw,
-                                          const ScopeParams& params);
+                                          const ScopeParams& params,
+                                          std::size_t* clipped_samples = nullptr);
 
-/// One 8-bit ADC conversion: the input is clamped to [lo, hi] first (a real
-/// scope clips at the rails instead of wrapping codes) and then snapped to
-/// the nearest of the 256 code levels spanning the range. Requires hi > lo.
+/// The raw ADC code for one conversion: the input is clamped to [lo, hi]
+/// (a real scope clips at the rails instead of wrapping codes) and snapped
+/// to the nearest of the 256 levels spanning the range. `range_hi` maps to
+/// code 255 exactly — the top-of-range conversion can never wrap to a
+/// 256-overflowed code 0. `clipped` (optional) reports whether the input
+/// hit a rail. Requires hi > lo.
+[[nodiscard]] std::uint8_t quantize_8bit_code(double v, double lo, double hi,
+                                              bool* clipped = nullptr);
+
+/// One 8-bit ADC conversion reconstructed to volts: the value of
+/// quantize_8bit_code's level, i.e. lo + code/255 * (hi - lo).
 [[nodiscard]] double quantize_8bit_sample(double v, double lo, double hi);
 
 }  // namespace reveal::power

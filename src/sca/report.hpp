@@ -17,6 +17,11 @@ class ConfusionMatrix {
  public:
   void add(std::int32_t truth, std::int32_t predicted);
 
+  /// Adds another matrix's counts into this one. Counts are integers, so
+  /// merging per-worker partials in any order equals the sequential tally
+  /// — the same worker-count-invariance contract as HintTally.
+  void merge(const ConfusionMatrix& other);
+
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
   [[nodiscard]] std::size_t count(std::int32_t truth, std::int32_t predicted) const;
   [[nodiscard]] std::size_t truth_count(std::int32_t truth) const;
@@ -43,6 +48,8 @@ class ConfusionMatrix {
   std::map<std::int32_t, std::size_t> truth_totals_;
   std::map<std::int32_t, std::size_t> pred_totals_;
   std::size_t total_ = 0;
+
+  friend bool operator==(const ConfusionMatrix&, const ConfusionMatrix&) = default;
 };
 
 /// Human-readable name of a segmentation status.

@@ -153,6 +153,80 @@ TEST_F(CampaignEquivalence, FullCampaignByteIdenticalAcrossWorkerCounts) {
   }
 }
 
+TEST_F(CampaignEquivalence, DiagnosticsSinkDoesNotChangeAnyOutputByte) {
+  // Identity-safety of the observability layer: the instrumented pipeline
+  // instantiation (spans + counters + confusion) must produce exactly the
+  // outputs of the NullSpanTracer instantiation — for the serial path and
+  // for a parallel pool.
+  const CampaignConfig cfg = degraded_config();
+  lwe::DbddParams params;
+  params.secret_dim = 1024;
+  params.error_dim = 1024;
+  params.q = 132120577.0;
+  params.secret_variance = 3.2 * 3.2;
+  params.error_variance = 3.2 * 3.2;
+  const HintPolicy policy;
+  const std::vector<std::uint64_t> seeds = CampaignRunner::stream_seeds(8080, 4);
+
+  CampaignRunner serial(0);
+  const RecoveryCampaignResult reference =
+      serial.run_recovery_campaign(*attack_, cfg, seeds, policy, params);
+  ASSERT_GT(reference.report.recovered_windows, 0u);
+
+  for (const std::size_t workers : {0u, 1u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    CampaignRunner runner(workers);
+    CampaignDiagnostics diag;
+    const RecoveryCampaignResult instrumented =
+        runner.run_recovery_campaign(*attack_, cfg, seeds, policy, params, &diag);
+    expect_results_identical(reference, instrumented);
+    // The sink actually collected: every capture was counted and timed.
+    EXPECT_EQ(diag.registry.counter_value("capture.count"), seeds.size());
+    EXPECT_EQ(diag.tracer.timing(obs::Stage::kCapture).count, seeds.size());
+    EXPECT_EQ(diag.tracer.timing(obs::Stage::kEstimation).count, 1u);
+  }
+}
+
+TEST_F(CampaignEquivalence, DiagnosticsCountersInvariantAcrossWorkerCounts) {
+  // Counters, histogram buckets, gauges and confusion tallies are integers
+  // (or max-merged) accumulated per worker and merged in worker-index
+  // order, so they are worker-count invariant. Span timings are wall-clock
+  // observations and are exempt — the comparison goes through a report
+  // built without the tracer.
+  const CampaignConfig cfg = degraded_config();
+  lwe::DbddParams params;
+  params.secret_dim = 1024;
+  params.error_dim = 1024;
+  params.q = 132120577.0;
+  params.secret_variance = 3.2 * 3.2;
+  params.error_variance = 3.2 * 3.2;
+  const HintPolicy policy;
+  const std::vector<std::uint64_t> seeds = CampaignRunner::stream_seeds(4321, 6);
+
+  CampaignRunner serial(0);
+  CampaignDiagnostics serial_diag;
+  (void)serial.run_recovery_campaign(*attack_, cfg, seeds, policy, params, &serial_diag);
+  const obs::DiagnosticsReport reference =
+      obs::make_report(serial_diag.registry, nullptr, &serial_diag.confusion);
+  ASSERT_FALSE(reference.counters.empty());
+  ASSERT_FALSE(reference.confusion.empty());
+
+  for (const std::size_t workers : {1u, 4u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    CampaignRunner runner(workers);
+    CampaignDiagnostics diag;
+    (void)runner.run_recovery_campaign(*attack_, cfg, seeds, policy, params, &diag);
+    const obs::DiagnosticsReport report =
+        obs::make_report(diag.registry, nullptr, &diag.confusion);
+    EXPECT_EQ(report, reference)
+        << "report:    " << report.to_json() << "\nreference: " << reference.to_json();
+    EXPECT_EQ(diag.confusion, serial_diag.confusion);
+    // The full report (with timings) must survive a JSON round trip exactly.
+    const obs::DiagnosticsReport full = diag.report();
+    EXPECT_EQ(obs::DiagnosticsReport::from_json(full.to_json()), full);
+  }
+}
+
 TEST_F(CampaignEquivalence, TrainedTemplatesByteIdenticalAcrossWorkerCounts) {
   CampaignConfig clean;
   clean.n = 64;

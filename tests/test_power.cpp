@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "numeric/stats.hpp"
 #include "power/leakage_model.hpp"
 #include "power/scope.hpp"
@@ -240,6 +242,57 @@ TEST(Scope, QuantizationClampsNegativeRangeInAcquire) {
   EXPECT_NEAR(out[2], 0.0, 0.5 * 4.0 / 255.0 + 1e-12);
   EXPECT_NEAR(out[3], 2.0, 1e-12);
   EXPECT_NEAR(out[4], 2.0, 1e-12);  // clipped high rail
+}
+
+TEST(Scope, QuantizeCodeTopOfRangeIsCode255NotWrapped) {
+  // The silent-saturation regression: range_hi must convert to code 255
+  // exactly. A conversion that scaled past 255.0 and cast to uint8 would
+  // wrap 256 to code 0 — the top rail would read as the bottom rail.
+  bool clipped = true;
+  EXPECT_EQ(power::quantize_8bit_code(64.0, 0.0, 64.0, &clipped), 255);
+  EXPECT_FALSE(clipped);  // hi is in range, not a rail hit
+  EXPECT_EQ(power::quantize_8bit_code(0.0, 0.0, 64.0, &clipped), 0);
+  EXPECT_FALSE(clipped);
+  // The last ulp below hi still snaps up to 255, never past it.
+  const double just_below = std::nextafter(64.0, 0.0);
+  EXPECT_EQ(power::quantize_8bit_code(just_below, 0.0, 64.0), 255);
+  // Asymmetric/negative ranges hit both rails at the extreme codes too.
+  EXPECT_EQ(power::quantize_8bit_code(2.0, -2.0, 2.0), 255);
+  EXPECT_EQ(power::quantize_8bit_code(-2.0, -2.0, 2.0), 0);
+  EXPECT_THROW((void)power::quantize_8bit_code(0.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Scope, QuantizeCodeReportsRailHits) {
+  bool clipped = false;
+  EXPECT_EQ(power::quantize_8bit_code(1e9, 0.0, 64.0, &clipped), 255);
+  EXPECT_TRUE(clipped);
+  clipped = false;
+  EXPECT_EQ(power::quantize_8bit_code(-1e9, 0.0, 64.0, &clipped), 0);
+  EXPECT_TRUE(clipped);
+  // Reconstruction of the code equals the legacy sample quantizer: one
+  // conversion path, two views.
+  for (const double v : {-5.0, 0.0, 13.37, 63.9, 64.0, 300.0}) {
+    const std::uint8_t code = power::quantize_8bit_code(v, 0.0, 64.0);
+    const double reconstructed = 0.0 + static_cast<double>(code) / 255.0 * 64.0;
+    EXPECT_EQ(reconstructed, power::quantize_8bit_sample(v, 0.0, 64.0)) << "v=" << v;
+  }
+}
+
+TEST(Scope, AcquireCountsClippedSamples) {
+  power::ScopeParams sp;
+  sp.quantize_8bit = true;
+  sp.range_lo = 0.0;
+  sp.range_hi = 64.0;
+  std::size_t clipped = 999;
+  const auto out = power::acquire({-1.0, 10.0, 64.0, 100.0, 32.0}, sp, &clipped);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(clipped, 2u);  // -1.0 (low rail) and 100.0 (high rail); 64.0 is in range
+  // Without quantization the counter must reset to zero, not keep its old
+  // value.
+  power::ScopeParams splain;
+  clipped = 999;
+  (void)power::acquire({1e9, -1e9}, splain, &clipped);
+  EXPECT_EQ(clipped, 0u);
 }
 
 TEST(Scope, RejectsBadParams) {

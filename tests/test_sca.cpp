@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -269,6 +270,51 @@ TEST(RobustSegmentation, FailsGracefullyOnHopelessTrace) {
             SegmentationStatus::kFailed);
 }
 
+TEST(RobustSegmentation, DegenerateSegmentsScoreFiniteNotNaN) {
+  // Regression (quality-score guard): zero-length bursts and windows drive
+  // the median lengths to zero; without the max(1, median) floor the scores
+  // divide 0/0 and the NaNs propagate into every downstream confidence
+  // gate. The guard must pin them to finite values in [0, 1].
+  std::vector<Segment> degenerate(3);
+  for (auto& s : degenerate) {
+    s.burst_begin = s.burst_end = 10;    // zero-length burst
+    s.window_begin = s.window_end = 20;  // zero-length window
+  }
+  const auto quality = score_windows(degenerate);
+  ASSERT_EQ(quality.size(), degenerate.size());
+  for (const double q : quality) {
+    EXPECT_TRUE(std::isfinite(q));
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+  }
+  const double consistency = burst_length_consistency(degenerate);
+  EXPECT_TRUE(std::isfinite(consistency));
+  EXPECT_EQ(consistency, 0.0);  // zero-mean burst length short-circuits
+}
+
+TEST(RobustSegmentation, DegenerateTracesYieldFiniteQuality) {
+  // All-zero, constant and single-impulse traces must never leak NaN into
+  // the quality scores or burst consistency, whatever status comes back.
+  std::vector<std::vector<double>> traces;
+  traces.emplace_back(600, 0.0);
+  traces.emplace_back(600, 7.25);
+  std::vector<double> impulse(600, 0.0);
+  impulse[300] = 50.0;  // one spike shorter than any min_burst_length
+  traces.push_back(std::move(impulse));
+  for (const auto& trace : traces) {
+    const SegmentationResult result = segment_trace_robust(trace, 3);
+    ASSERT_EQ(result.window_quality.size(), result.segments.size());
+    EXPECT_TRUE(std::isfinite(result.burst_consistency));
+    EXPECT_GE(result.burst_consistency, 0.0);
+    EXPECT_LE(result.burst_consistency, 1.0);
+    for (const double q : result.window_quality) {
+      EXPECT_TRUE(std::isfinite(q));
+      EXPECT_GE(q, 0.0);
+      EXPECT_LE(q, 1.0);
+    }
+  }
+}
+
 TEST(RobustSegmentation, InconsistentBurstLengthsFlaggedDegraded) {
   // Three genuine bursts plus one over-long (merged-looking) burst: count
   // can be made to match 4, but the length spread must downgrade trust.
@@ -398,6 +444,53 @@ TEST(Templates, DegenerateCovarianceHandledByRidge) {
   }
   const TemplateSet templates = builder.build(1e-3);
   EXPECT_EQ(templates.classify({0.9, 1.1}), 1);
+}
+
+TEST(Templates, PosteriorStableAtExtremeMahalanobisDistance) {
+  // Log-likelihoods at observations absurdly far from every template reach
+  // magnitudes around -1e16; a naive exp(score)/sum softmax underflows to
+  // 0/0 and returns NaN for every class. The max-subtracted normalization
+  // must stay finite and normalized, and agree with a softmax computed
+  // directly from the reference log scores.
+  num::Xoshiro256StarStar rng(2026);
+  TemplateBuilder builder(2);
+  for (int i = 0; i < 80; ++i) {
+    builder.add(-1, {-2.0 + 0.4 * rng.gaussian(), 0.4 * rng.gaussian()});
+    builder.add(0, {0.4 * rng.gaussian(), 0.4 * rng.gaussian()});
+    builder.add(1, {2.0 + 0.4 * rng.gaussian(), 0.4 * rng.gaussian()});
+  }
+  const TemplateSet templates = builder.build();
+  for (const double scale : {1e3, 1e6, 1e8}) {
+    const std::vector<double> obs = {scale, -scale};
+    const auto post = templates.posterior(obs);
+    ASSERT_EQ(post.size(), 3u);
+    double sum = 0.0;
+    for (const double p : post) {
+      EXPECT_TRUE(std::isfinite(p)) << "scale " << scale;
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "scale " << scale;
+
+    // The most likely class must also win the posterior.
+    const auto scores = templates.log_scores(obs);
+    EXPECT_EQ(std::max_element(post.begin(), post.end()) - post.begin(),
+              std::max_element(scores.begin(), scores.end()) - scores.begin());
+
+    // Differential anchor: explicit max-subtracted softmax over the seed
+    // (reference) log scores.
+    const auto ref = templates.log_scores_reference(obs);
+    const double mx = *std::max_element(ref.begin(), ref.end());
+    std::vector<double> expected(ref.size());
+    double z = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      expected[i] = std::exp(ref[i] - mx);
+      z += expected[i];
+    }
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(post[i], expected[i] / z, 1e-12) << "scale " << scale;
+    }
+  }
 }
 
 TEST(Classifier, SeparatesPatternsAndValidates) {
