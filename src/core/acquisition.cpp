@@ -42,6 +42,7 @@ SamplerCampaign::SamplerCampaign(CampaignConfig config)
   // append mostly without reallocating; later captures reuse the high-water
   // capacity.
   recorder_.reserve(detail::victim_instruction_limit(program_));
+  configure_victim_tier(machine_, config_.victim_tier);
 }
 
 FullCapture SamplerCampaign::capture(std::uint64_t seed) {

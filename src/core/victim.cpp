@@ -394,21 +394,22 @@ VictimRun finish_victim_run(const VictimProgram& program, const riscv::Machine& 
   out.noise.resize(program.n * program.poly_count);
   const std::uint64_t q0 = program.moduli[0];
   const std::size_t poly_stride = program.n * program.coeff_mod_count;
-  for (std::size_t i = 0; i < program.n * program.poly_count; ++i) {
-    const std::size_t p = i / program.n;         // which error polynomial
-    const std::size_t c = i % program.n;         // coefficient within it
-    std::uint32_t raw = machine.load_word(
-        program.layout.poly_base +
-        static_cast<std::uint32_t>(4 * (p * poly_stride + c)));
-    if (program.masked) {
-      // Recombine the arithmetic shares (host-side ground truth only).
-      const std::uint32_t share2 = machine.load_word(
-          program.layout.mask_base + static_cast<std::uint32_t>(4 * i));
-      raw += share2;  // mod 2^32
+  std::size_t i = 0;
+  for (std::size_t p = 0; p < program.poly_count; ++p) {    // error polynomial
+    for (std::size_t c = 0; c < program.n; ++c, ++i) {      // coefficient
+      std::uint32_t raw = machine.load_word(
+          program.layout.poly_base +
+          static_cast<std::uint32_t>(4 * (p * poly_stride + c)));
+      if (program.masked) {
+        // Recombine the arithmetic shares (host-side ground truth only).
+        const std::uint32_t share2 = machine.load_word(
+            program.layout.mask_base + static_cast<std::uint32_t>(4 * i));
+        raw += share2;  // mod 2^32
+      }
+      if (raw == 0) out.noise[i] = 0;
+      else if (raw <= static_cast<std::uint32_t>(kClip)) out.noise[i] = raw;
+      else out.noise[i] = -static_cast<std::int64_t>(q0 - raw);
     }
-    if (raw == 0) out.noise[i] = 0;
-    else if (raw <= static_cast<std::uint32_t>(kClip)) out.noise[i] = raw;
-    else out.noise[i] = -static_cast<std::int64_t>(q0 - raw);
   }
   return out;
 }
@@ -420,6 +421,36 @@ VictimRun run_victim(const VictimProgram& program, riscv::Machine& machine,
   detail::prepare_victim_run(program, machine, seed);
   const auto reason = machine.run(detail::victim_instruction_limit(program), observer);
   return detail::finish_victim_run(program, machine, reason);
+}
+
+void configure_victim_tier(riscv::Machine& machine, VictimTier tier) noexcept {
+  switch (tier) {
+    case VictimTier::kReference:
+      machine.set_predecode(false);
+      machine.set_block_tier(false);
+      break;
+    case VictimTier::kPredecode:
+      machine.set_predecode(true);
+      machine.set_block_tier(false);
+      break;
+    case VictimTier::kBlock:
+      machine.set_predecode(true);
+      machine.set_block_tier(true);
+      break;
+  }
+}
+
+VictimRun run_victim_tier(const VictimProgram& program, riscv::Machine& machine,
+                          std::uint32_t seed, VictimTier tier,
+                          riscv::ExecutionObserver* observer) {
+  configure_victim_tier(machine, tier);
+  if (tier == VictimTier::kReference) {
+    detail::prepare_victim_run(program, machine, seed);
+    const auto reason =
+        machine.run_reference(detail::victim_instruction_limit(program), observer);
+    return detail::finish_victim_run(program, machine, reason);
+  }
+  return run_victim(program, machine, seed, observer);
 }
 
 }  // namespace reveal::core

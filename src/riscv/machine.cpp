@@ -26,6 +26,18 @@ Machine::Machine(std::size_t memory_bytes, TimingModel timing)
 void Machine::load_program(const std::vector<std::uint32_t>& words, std::uint32_t address) {
   if (!in_bounds(address, static_cast<std::uint32_t>(words.size() * 4)))
     throw std::out_of_range("Machine::load_program: program does not fit in memory");
+  const auto bytes = static_cast<std::uint32_t>(words.size() * 4);
+  // Unchanged reload: captures reload the same firmware before every run,
+  // so when the exact program bytes already cover the cached region the
+  // warm predecode entries and translated blocks stay valid (stores always
+  // invalidate, so a valid entry can only describe current memory) — just
+  // reset the pc instead of recopying and retranslating.
+  if ((address & 3u) == 0 && !words.empty() && address == icache_base_ &&
+      address + bytes == icache_end_ &&
+      std::memcmp(memory_.data() + address, words.data(), bytes) == 0) {
+    pc_ = address;
+    return;
+  }
   for (std::size_t i = 0; i < words.size(); ++i) {
     std::memcpy(memory_.data() + address + i * 4, &words[i], 4);
   }
@@ -34,13 +46,15 @@ void Machine::load_program(const std::vector<std::uint32_t>& words, std::uint32_
   // cannot be word-indexed; execution there traps on fetch anyway.
   if ((address & 3u) == 0 && !words.empty()) {
     icache_base_ = address;
-    icache_end_ = address + static_cast<std::uint32_t>(words.size() * 4);
+    icache_end_ = address + bytes;
     icache_.assign(words.size(), DecodedInstr{});
     if (predecode_) rebuild_icache();
   } else {
     icache_.clear();
     icache_base_ = icache_end_ = 0;
   }
+  // Blocks translate lazily on first dispatch into the new region.
+  block_cache_.reset(icache_base_, icache_end_);
 }
 
 void Machine::rebuild_icache() {
@@ -52,10 +66,16 @@ void Machine::rebuild_icache() {
 }
 
 void Machine::set_predecode(bool enabled) {
+  // Stores invalidate affected entries regardless of the current mode
+  // (both predecode words and translated blocks), so a cached entry can
+  // only ever be invalid or describe current memory — toggling tiers
+  // mid-lifetime never executes stale decodes (pinned by the tier-toggle
+  // regression tests in tests/test_fast_path.cpp). Rebuilding eagerly on
+  // the off->on transition just front-loads the lazy refills; re-enabling
+  // an already-enabled cache is free, so per-capture callers can set the
+  // tier unconditionally.
+  if (enabled && !predecode_ && !icache_.empty()) rebuild_icache();
   predecode_ = enabled;
-  // Stores always invalidate affected entries, so a rebuild on re-enable
-  // picks up any self-modification that happened while disabled.
-  if (enabled && !icache_.empty()) rebuild_icache();
 }
 
 std::uint32_t Machine::load_word(std::uint32_t address) const {

@@ -6,6 +6,12 @@
 //     decode-per-step virtually-dispatched loop (Machine::run_reference),
 //     fuzzed over randomized RV32IM programs including self-modifying
 //     stores into the code region;
+//   * the block-translated execution tier (DESIGN.md §6f) vs both lower
+//     tiers: random and sampler-shaped programs, stores that split or
+//     invalidate translated blocks (including from inside the executing
+//     block), branches into block middles, invalid encodings at block
+//     tails, instruction limits expiring mid-block, and tier toggling
+//     after load_program;
 //   * shared-work template scoring (one Sigma^{-1} x matvec per
 //     observation) vs an in-test mirror of the documented kernel loop
 //     order (exact double equality) and vs the pre-factorization
@@ -15,9 +21,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/acquisition.hpp"
@@ -323,6 +331,445 @@ TEST(Predecode, StoreIntoCodeRegionInvalidatesCachedInstruction) {
   const Outcome ref = run_ref(words);
   EXPECT_EQ(fast.regs[7], 2u);  // the patched instruction executed
   expect_outcomes_equal(fast, ref);
+}
+
+// --------------------------------------------------------------------------
+// Block-translated execution tier (DESIGN.md §6f)
+// --------------------------------------------------------------------------
+
+/// Runs `words` with an explicit tier configuration and instruction limit.
+Outcome run_tiered(const std::vector<std::uint32_t>& words, bool predecode, bool block,
+                   std::uint64_t limit = kInstrLimit) {
+  riscv::Machine m(kMemBytes);
+  m.set_predecode(predecode);
+  m.set_block_tier(block);
+  m.reset();
+  m.load_program(words, 0);
+  Collector col;
+  const auto reason = m.run_with(limit, col);
+  return finish(m, reason, std::move(col));
+}
+
+Outcome run_block(const std::vector<std::uint32_t>& words,
+                  std::uint64_t limit = kInstrLimit) {
+  return run_tiered(words, /*predecode=*/true, /*block=*/true, limit);
+}
+
+Outcome run_predecode_only(const std::vector<std::uint32_t>& words,
+                           std::uint64_t limit = kInstrLimit) {
+  return run_tiered(words, /*predecode=*/true, /*block=*/false, limit);
+}
+
+Outcome run_reference_limit(const std::vector<std::uint32_t>& words,
+                            std::uint64_t limit = kInstrLimit) {
+  riscv::Machine m(kMemBytes);
+  m.set_predecode(false);
+  m.reset();
+  m.load_program(words, 0);
+  Collector col;
+  const auto reason = m.run_reference(limit, &col);
+  return finish(m, reason, std::move(col));
+}
+
+/// State-only run through the public nullptr-observer route: this is the
+/// capture hot path, where the block tier's NullExecutionObserver lean legs
+/// (hoisted registers, inlined accept path) are statically selected.
+Outcome run_lean(const std::vector<std::uint32_t>& words, bool predecode, bool block,
+                 std::uint64_t limit = kInstrLimit) {
+  riscv::Machine m(kMemBytes);
+  m.set_predecode(predecode);
+  m.set_block_tier(block);
+  m.reset();
+  m.load_program(words, 0);
+  const auto reason = m.run(limit, nullptr);
+  return finish(m, reason, Collector{});
+}
+
+Outcome run_lean_reference(const std::vector<std::uint32_t>& words,
+                           std::uint64_t limit = kInstrLimit) {
+  riscv::Machine m(kMemBytes);
+  m.set_predecode(false);
+  m.reset();
+  m.load_program(words, 0);
+  const auto reason = m.run_reference(limit, nullptr);
+  return finish(m, reason, Collector{});
+}
+
+/// A rejection-sampling loop with the exact op shapes the translator fuses
+/// (xorshift-mask superop followed by the accumulate/loop block), with the
+/// register roles drawn from `rng`. Distinct roles reproduce the canonical
+/// firmware dataflow (specialized handlers, lean-leg accept-path inlining);
+/// aliased roles must fall back to the generic handlers with identical
+/// results. Aliasing can make the loop diverge — the instruction limit then
+/// stops both executions at the same instruction.
+std::vector<std::uint32_t> sampler_like_program(num::Xoshiro256StarStar& rng,
+                                                bool distinct_roles) {
+  riscv::Assembler as(0);
+  using riscv::Reg;
+  std::array<Reg, 8> roles{};
+  if (distinct_roles) {
+    for (std::size_t i = 0; i < roles.size(); ++i) roles[i] = static_cast<Reg>(5 + i);
+    for (std::size_t i = roles.size(); i > 1; --i) {
+      std::swap(roles[i - 1], roles[rng() % i]);
+    }
+  } else {
+    for (auto& r : roles) r = static_cast<Reg>(5 + rng() % 11);
+  }
+  const Reg s = roles[0], t = roles[1], m = roles[2], x = roles[3], bound = roles[4],
+            acc = roles[5], ctr = roles[6], n = roles[7];
+  as.li(s, static_cast<std::int32_t>(rng() & 0x7FFFFFFF) | 1);
+  as.li(bound, 0x4000);  // mask is 0xFFFF: ~1/4 accept rate
+  as.li(acc, 0);
+  as.li(ctr, 0);
+  as.li(n, 1 + static_cast<std::int32_t>(rng() % 4));
+  as.label("sample");  // both back-edges target the superop head: self-loops
+  as.slli(t, s, 13);
+  as.xor_(s, s, t);
+  as.srli(t, s, 17);
+  as.xor_(s, s, t);
+  as.slli(t, s, 5);
+  as.xor_(s, s, t);
+  as.lui(m, 0x10);
+  as.addi(m, m, -1);
+  as.and_(x, s, m);
+  as.bgeu(x, bound, "sample");
+  as.add(acc, acc, x);
+  as.addi(ctr, ctr, 1);
+  as.bne(ctr, n, "sample");
+  as.ebreak();
+  return as.assemble();
+}
+
+/// Emits every remaining fused shape (sign-fold, slli-add-blt, mask-bgeu,
+/// plain xorshift, acc-bne) with registers drawn freely from x5..x15 —
+/// aliasing included — each terminated by a short forward branch.
+std::vector<std::uint32_t> idiom_shape_program(num::Xoshiro256StarStar& rng) {
+  riscv::Assembler as(0);
+  using riscv::Reg;
+  const auto reg = [&]() { return static_cast<Reg>(5 + rng() % 11); };
+  const auto imm12 = [&]() { return static_cast<std::int32_t>(rng() % 4096) - 2048; };
+  const auto sh = [&]() { return static_cast<std::uint32_t>(rng() % 32); };
+  for (int r = 5; r <= 15; ++r) {
+    as.li(static_cast<Reg>(r), static_cast<std::int32_t>(rng() % 10007) - 5003);
+  }
+  int next_label = 0;
+  const auto fwd = [&]() { return "F" + std::to_string(next_label++); };
+  for (int group = 0; group < 8; ++group) {
+    std::string target;
+    switch (rng() % 5) {
+      case 0: {  // kFuseSignFold
+        as.lui(reg(), static_cast<std::uint32_t>(rng() % (1u << 20)));
+        as.addi(reg(), reg(), imm12());
+        as.sub(reg(), reg(), reg());
+        as.mul(reg(), reg(), reg());
+        as.lui(reg(), static_cast<std::uint32_t>(rng() % (1u << 20)));
+        as.add(reg(), reg(), reg());
+        as.srai(reg(), reg(), sh());
+        as.srai(reg(), reg(), sh());
+        as.xor_(reg(), reg(), reg());
+        as.sub(reg(), reg(), reg());
+        target = fwd();
+        as.blt(reg(), reg(), target);
+        break;
+      }
+      case 1: {  // kFuseSlliAddBlt
+        as.slli(reg(), reg(), sh());
+        as.add(reg(), reg(), reg());
+        target = fwd();
+        as.blt(reg(), reg(), target);
+        break;
+      }
+      case 2: {  // kFuseMaskBgeu
+        as.lui(reg(), static_cast<std::uint32_t>(rng() % (1u << 20)));
+        as.addi(reg(), reg(), imm12());
+        as.and_(reg(), reg(), reg());
+        target = fwd();
+        as.bgeu(reg(), reg(), target);
+        break;
+      }
+      case 3: {  // kFuseXorshift (no branch in the shape)
+        as.slli(reg(), reg(), sh());
+        as.xor_(reg(), reg(), reg());
+        as.srli(reg(), reg(), sh());
+        as.xor_(reg(), reg(), reg());
+        as.slli(reg(), reg(), sh());
+        as.xor_(reg(), reg(), reg());
+        target = fwd();
+        as.beq(reg(), reg(), target);
+        break;
+      }
+      default: {  // kFuseAccBne
+        as.add(reg(), reg(), reg());
+        as.addi(reg(), reg(), imm12());
+        target = fwd();
+        as.bne(reg(), reg(), target);
+        break;
+      }
+    }
+    as.addi(reg(), reg(), imm12());  // skippable filler
+    as.label(target);
+  }
+  as.ebreak();
+  return as.assemble();
+}
+
+TEST(BlockTierFuzz, RandomProgramsMatchBothLowerTiers) {
+  num::Xoshiro256StarStar rng(0xB10C'F7A5ULL);
+  for (int trial = 0; trial < 30; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const auto words = random_program(rng, /*self_modify=*/false);
+    const Outcome ref = run_reference_limit(words);
+    expect_outcomes_equal(run_block(words), ref);
+    expect_outcomes_equal(run_predecode_only(words), ref);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(BlockTierFuzz, SelfModifyingProgramsMatchReferenceExecution) {
+  num::Xoshiro256StarStar rng(0xB10C'0D1FULL);
+  for (int trial = 0; trial < 25; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const auto words = random_program(rng, /*self_modify=*/true);
+    expect_outcomes_equal(run_block(words), run_reference_limit(words));
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(BlockTierFuzz, FusedIdiomShapesWithAliasedRegistersMatchReference) {
+  num::Xoshiro256StarStar rng(0x1D10'3A17ULL);
+  for (int trial = 0; trial < 40; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const auto words = idiom_shape_program(rng);
+    expect_outcomes_equal(run_block(words), run_reference_limit(words));
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(BlockTierFuzz, SamplerShapedLoopsMatchReferenceWithObserver) {
+  num::Xoshiro256StarStar rng(0x5A3B'1E57ULL);
+  for (int trial = 0; trial < 20; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const auto words = sampler_like_program(rng, /*distinct_roles=*/trial % 2 == 0);
+    expect_outcomes_equal(run_block(words), run_reference_limit(words));
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(BlockTierFuzz, LeanNullObserverPathMatchesReference) {
+  // The nullptr-observer route statically selects the lean legs (hoisted
+  // pool fields, self-loop shortcut, inlined accept path); the observer
+  // tests above never reach them.
+  num::Xoshiro256StarStar rng(0x0B5E'55EDULL);
+  for (int trial = 0; trial < 20; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const auto words = trial < 12 ? sampler_like_program(rng, trial % 2 == 0)
+                                  : random_program(rng, trial % 2 == 1);
+    expect_outcomes_equal(run_lean(words, true, true), run_lean_reference(words));
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(BlockTierFuzz, InstructionLimitExpiringMidBlockMatchesReference) {
+  // Sweep the budget through every point of a superop-heavy program: limits
+  // landing inside a translated block (including inside a fused idiom) must
+  // stop after exactly `limit` retired instructions via the precise tail.
+  num::Xoshiro256StarStar rng(0x11D1'7B0DULL);
+  const auto words = sampler_like_program(rng, /*distinct_roles=*/true);
+  const Outcome full = run_reference_limit(words);
+  const std::uint64_t total = full.retired;
+  ASSERT_GT(total, 20u);
+  for (std::uint64_t limit = 1; limit <= std::min<std::uint64_t>(total + 2, 80); ++limit) {
+    SCOPED_TRACE("limit " + std::to_string(limit));
+    const Outcome ref = run_reference_limit(words, limit);
+    expect_outcomes_equal(run_block(words, limit), ref);
+    expect_outcomes_equal(run_lean(words, true, true, limit), run_lean_reference(words, limit));
+    if (limit < total) {
+      EXPECT_EQ(ref.reason, riscv::Machine::StopReason::kInstrLimit);
+      EXPECT_EQ(ref.retired, limit);
+    }
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(BlockTier, StoreAheadInsideExecutingBlockInvalidatesBeforeFetch) {
+  // The store and its target live in the SAME straight-line block: the
+  // store must invalidate the translation and bail to the dispatcher so the
+  // patched word — not the stale block instruction — executes next.
+  riscv::Assembler as(0);
+  using riscv::Reg;
+  as.li(Reg::x16, static_cast<std::int32_t>(kPatchWord));  // addi x7, x0, 2
+  as.la(Reg::x17, "patch");
+  as.sw(Reg::x16, 0, Reg::x17);
+  as.addi(Reg::x6, riscv::zero, 5);  // still the same block
+  as.label("patch");
+  as.addi(Reg::x7, riscv::zero, 1);
+  as.ebreak();
+  const auto words = as.assemble();
+
+  const Outcome block = run_block(words);
+  EXPECT_EQ(block.regs[7], 2u);  // the patched instruction executed
+  expect_outcomes_equal(block, run_reference_limit(words));
+  expect_outcomes_equal(run_lean(words, true, true), run_lean_reference(words));
+}
+
+TEST(BlockTier, StoreBehindInsideLoopBlockIsObservedOnReExecution) {
+  // The loop body patches an instruction BEHIND the store (already executed
+  // this iteration); the back-edge re-enters the block, which must have
+  // been invalidated — iteration 1 runs the original word, iteration 2 the
+  // patched one (x9 accumulates 1 + 2).
+  riscv::Assembler as(0);
+  using riscv::Reg;
+  as.li(Reg::x16, static_cast<std::int32_t>(kPatchWord));  // addi x7, x0, 2
+  as.la(Reg::x17, "patch");
+  as.li(Reg::x14, 0);
+  as.li(Reg::x13, 2);
+  as.label("loop");
+  as.label("patch");
+  as.addi(Reg::x7, riscv::zero, 1);
+  as.add(Reg::x9, Reg::x9, Reg::x7);
+  as.addi(Reg::x14, Reg::x14, 1);
+  as.sw(Reg::x16, 0, Reg::x17);
+  as.bne(Reg::x14, Reg::x13, "loop");
+  as.ebreak();
+  const auto words = as.assemble();
+
+  const Outcome block = run_block(words);
+  EXPECT_EQ(block.regs[9], 3u);
+  expect_outcomes_equal(block, run_reference_limit(words));
+  expect_outcomes_equal(run_lean(words, true, true), run_lean_reference(words));
+}
+
+std::vector<std::uint32_t> branch_into_middle_program(bool middle_first) {
+  riscv::Assembler as(0);
+  using riscv::Reg;
+  // Iterations enter the same straight-line run alternately at its head and
+  // at its middle; whichever entry translates first, the other must not
+  // execute a misaligned or stale view of the range.
+  as.li(Reg::x14, 0);
+  as.li(Reg::x13, middle_first ? 1 : 2);
+  as.li(Reg::x12, 3);
+  as.label("loop");
+  as.addi(Reg::x14, Reg::x14, 1);
+  as.beq(Reg::x14, Reg::x13, "mid");
+  as.addi(Reg::x6, Reg::x6, 1);
+  as.addi(Reg::x7, Reg::x7, 3);
+  as.label("mid");
+  as.addi(Reg::x8, Reg::x8, 5);
+  as.addi(Reg::x9, Reg::x9, 7);
+  as.blt(Reg::x14, Reg::x12, "loop");
+  as.ebreak();
+  return as.assemble();
+}
+
+TEST(BlockTier, BranchIntoBlockMiddleMatchesReference) {
+  for (const bool middle_first : {false, true}) {
+    SCOPED_TRACE(middle_first ? "middle entry first" : "head entry first");
+    const auto words = branch_into_middle_program(middle_first);
+    expect_outcomes_equal(run_block(words), run_reference_limit(words));
+    expect_outcomes_equal(run_lean(words, true, true), run_lean_reference(words));
+  }
+}
+
+TEST(BlockTier, InvalidEncodingAtBlockTailTrapsIdentically) {
+  for (const std::uint32_t bad : {0xFFFF'FFFFu, 0x0000'0000u}) {
+    SCOPED_TRACE("invalid word " + std::to_string(bad));
+    riscv::Assembler as(0);
+    using riscv::Reg;
+    as.addi(Reg::x6, riscv::zero, 1);
+    as.addi(Reg::x7, riscv::zero, 2);
+    auto words = as.assemble();
+    words.push_back(bad);  // straight line runs off into an invalid encoding
+    const Outcome block = run_block(words);
+    EXPECT_EQ(block.reason, riscv::Machine::StopReason::kTrap);
+    expect_outcomes_equal(block, run_reference_limit(words));
+    expect_outcomes_equal(run_lean(words, true, true), run_lean_reference(words));
+  }
+}
+
+TEST(TierToggle, EnablingPredecodeAfterLoadSeesPatchedMemory) {
+  // set_predecode(true) after load_program: the cache was populated (or
+  // left cold) under the old mode, and memory has changed since — the
+  // re-enabled tiers must decode current bytes, never the load-time ones.
+  riscv::Assembler as(0);
+  using riscv::Reg;
+  as.addi(Reg::x7, riscv::zero, 1);
+  as.ebreak();
+  const auto words = as.assemble();
+
+  riscv::Machine m(kMemBytes);
+  m.set_predecode(false);
+  m.set_block_tier(false);
+  m.reset();
+  m.load_program(words, 0);
+  m.store_word(0, kPatchWord);  // patch while both caches are disabled
+  m.set_predecode(true);
+  m.set_block_tier(true);
+  const auto reason = m.run(kInstrLimit, nullptr);
+  EXPECT_EQ(reason, riscv::Machine::StopReason::kHalt);
+  EXPECT_EQ(m.reg(riscv::Reg::x7), 2u);
+}
+
+TEST(TierToggle, ReenablingWarmPredecodeSeesStoredPatch) {
+  // Warm the caches with a full run, patch the code via the public store
+  // API, then re-enable the (already enabled) tiers: the store invalidation
+  // must be honoured — set_predecode(true) on an enabled cache is a no-op,
+  // not a mask of the patch.
+  riscv::Assembler as(0);
+  using riscv::Reg;
+  as.addi(Reg::x7, riscv::zero, 1);
+  as.ebreak();
+  const auto words = as.assemble();
+
+  riscv::Machine m(kMemBytes);
+  m.reset();
+  m.load_program(words, 0);
+  ASSERT_EQ(m.run(kInstrLimit, nullptr), riscv::Machine::StopReason::kHalt);
+  ASSERT_EQ(m.reg(riscv::Reg::x7), 1u);
+
+  m.store_word(0, kPatchWord);
+  m.set_predecode(true);
+  m.set_block_tier(true);
+  m.reset();
+  m.load_program(words, 0);  // unchanged-reload path must NOT apply here:
+  // the program words differ from patched memory, so this is a fresh load.
+  ASSERT_EQ(m.run(kInstrLimit, nullptr), riscv::Machine::StopReason::kHalt);
+  EXPECT_EQ(m.reg(riscv::Reg::x7), 1u);  // reload restored the original word
+
+  m.store_word(0, kPatchWord);
+  m.set_predecode(true);  // no rebuild: invalidation alone must carry it
+  const auto r = (m.reset(), m.load_program({m.load_word(0), words[1]}, 0),
+                  m.run(kInstrLimit, nullptr));
+  ASSERT_EQ(r, riscv::Machine::StopReason::kHalt);
+  EXPECT_EQ(m.reg(riscv::Reg::x7), 2u);  // patched word executes
+}
+
+TEST(TierToggle, SwitchingTiersMidExecutionMatchesReference) {
+  // Run the first third under the block tier, the second under predecode
+  // only, and the rest under decode-per-step — the composite must be
+  // indistinguishable from a pure reference run.
+  num::Xoshiro256StarStar rng(0x706'6135ULL);
+  for (int trial = 0; trial < 10; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const auto words = trial % 2 == 0 ? sampler_like_program(rng, true)
+                                      : random_program(rng, false);
+    const Outcome ref = run_reference_limit(words);
+    if (ref.retired < 9) continue;
+
+    riscv::Machine m(kMemBytes);
+    m.reset();
+    m.load_program(words, 0);
+    Collector col;
+    const std::uint64_t third = ref.retired / 3;
+    auto reason = m.run_with(third, col);
+    ASSERT_EQ(reason, riscv::Machine::StopReason::kInstrLimit);
+    m.set_block_tier(false);
+    reason = m.run_with(third, col);
+    ASSERT_EQ(reason, riscv::Machine::StopReason::kInstrLimit);
+    m.set_predecode(false);
+    reason = m.run_with(kInstrLimit, col);
+    expect_outcomes_equal(finish(m, reason, std::move(col)), ref);
+    if (::testing::Test::HasFailure()) break;
+  }
 }
 
 // --------------------------------------------------------------------------
