@@ -1,0 +1,143 @@
+#include "core/hint_sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "core/parallel.hpp"
+#include "lwe/dbdd_matrix.hpp"
+
+namespace reveal::core {
+
+namespace {
+
+std::size_t resolve_workers(const HintSweepConfig& config) {
+  if (config.num_workers == HintSweepConfig::kAutoWorkers)
+    return default_num_workers();
+  return config.num_workers;
+}
+
+void validate(const HintSweepConfig& config, const std::vector<SweepHint>& pool) {
+  if (config.counts.empty())
+    throw std::invalid_argument("hint_sweep: empty count grid");
+  if (config.orders == 0)
+    throw std::invalid_argument("hint_sweep: orders must be >= 1");
+  if (pool.empty()) throw std::invalid_argument("hint_sweep: empty hint pool");
+  if (pool.size() > config.params.error_dim)
+    throw std::invalid_argument("hint_sweep: pool larger than error_dim");
+  for (const std::size_t c : config.counts)
+    if (c > pool.size())
+      throw std::invalid_argument("hint_sweep: count exceeds hint pool");
+}
+
+/// First `count` entries of a seeded Fisher-Yates permutation of
+/// [0, pool_size). Depends only on (seed, pool_size) — the determinism
+/// anchor of the whole sweep.
+std::vector<std::size_t> hint_order(std::uint64_t seed, std::size_t pool_size,
+                                    std::size_t count) {
+  std::vector<std::size_t> perm(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) perm[i] = i;
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    std::uniform_int_distribution<std::size_t> pick(i, pool_size - 1);
+    std::swap(perm[i], perm[pick(rng)]);
+  }
+  perm.resize(count);
+  return perm;
+}
+
+/// Shared grid driver: runs `point(count, stream seed) -> beta` for every
+/// (count, order) pair over the pool, then reduces in fixed index order.
+template <typename PointFn>
+HintSweepResult sweep_grid(const HintSweepConfig& config, const PointFn& point) {
+  const std::size_t orders = config.orders;
+  const std::size_t total = config.counts.size() * orders;
+
+  HintSweepResult result;
+  result.betas.assign(total, 0.0);
+
+  WorkerPool pool_threads(resolve_workers(config));
+  pool_threads.run_indexed(total, [&](std::size_t index, std::size_t) {
+    const std::size_t count = config.counts[index / orders];
+    result.betas[index] = point(count, stream_seed(config.base_seed, index));
+  });
+
+  // Serial reduction, fixed order: per-count Welford blocks, then one Chan
+  // merge chain across counts. Identical for every worker count by
+  // construction (the parallel phase only filled index slots).
+  result.cells.reserve(config.counts.size());
+  for (std::size_t ci = 0; ci < config.counts.size(); ++ci) {
+    HintSweepCell cell;
+    cell.count = config.counts[ci];
+    for (std::size_t oi = 0; oi < orders; ++oi) {
+      const double beta = result.betas[ci * orders + oi];
+      cell.beta.add(beta);
+      cell.bits.add(beta / lwe::kBikzPerBit);
+    }
+    result.overall_beta.merge(cell.beta);
+    result.cells.push_back(std::move(cell));
+  }
+  return result;
+}
+
+}  // namespace
+
+HintSweepResult run_hint_sweep(const HintSweepConfig& config,
+                               const std::vector<SweepHint>& pool) {
+  validate(config, pool);
+  return sweep_grid(config, [&](std::size_t count, std::uint64_t seed) {
+    const auto order = hint_order(seed, pool.size(), count);
+    lwe::DbddEstimator est(config.params);
+    for (const std::size_t idx : order) {
+      const SweepHint& h = pool[idx];
+      switch (h.kind) {
+        case SweepHint::Kind::kPerfect:
+          est.integrate_perfect_error_hints(1);
+          break;
+        case SweepHint::Kind::kApproximate:
+          est.integrate_approximate_error_hints(h.variance, 1);
+          break;
+        case SweepHint::Kind::kPosterior:
+          est.integrate_posterior_error_hints(h.variance, 1);
+          break;
+      }
+    }
+    return config.simulated ? est.estimate_simulated(config.sim_params).beta
+                            : est.estimate().beta;
+  });
+}
+
+HintSweepResult run_matrix_hint_sweep(const HintSweepConfig& config,
+                                      const std::vector<SweepHint>& pool) {
+  validate(config, pool);
+  const std::size_t ambient =
+      config.params.secret_dim + config.params.error_dim;
+  return sweep_grid(config, [&](std::size_t count, std::uint64_t seed) {
+    const auto order = hint_order(seed, pool.size(), count);
+    std::mt19937_64 rng(stream_seed(seed, 1));  // direction stream, task-local
+    std::normal_distribution<double> gauss;
+    lwe::DbddMatrixEstimator est(config.params);
+    std::vector<double> dir(ambient);
+    for (const std::size_t idx : order) {
+      const SweepHint& h = pool[idx];
+      if (h.kind == SweepHint::Kind::kPerfect) {
+        (void)est.integrate_perfect_error_hint(idx);
+        continue;
+      }
+      // Noisy hint along a random dense unit direction touching the hinted
+      // coordinate: the O(d^2) leg of the workload.
+      double norm_sq = 0.0;
+      for (double& x : dir) {
+        x = gauss(rng);
+        norm_sq += x * x;
+      }
+      const double inv = 1.0 / std::sqrt(norm_sq);
+      for (double& x : dir) x *= inv;
+      (void)est.integrate_approximate_hint(dir, std::max(h.variance, 1e-6));
+    }
+    return est.estimate().beta;
+  });
+}
+
+}  // namespace reveal::core

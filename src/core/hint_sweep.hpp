@@ -1,0 +1,95 @@
+#pragma once
+// Parallel hint-count / hint-order sweeps over the DBDD estimators.
+//
+// The paper's Tables III/IV are bikz-vs-hint-count curves; reproducing them
+// at n = 1024 means estimating security for every (hint count, hint order)
+// grid point — embarrassingly parallel, but only worth parallelizing if the
+// sweep stays bit-identical across worker counts. The sweep follows the
+// determinism contract of core/parallel:
+//
+//   * every grid point derives its RNG from stream_seed(base_seed, index)
+//     alone — never from the executing worker or completion order;
+//   * each task writes only its own index slot of the result grid;
+//   * summary statistics are reduced AFTER the parallel phase, in fixed
+//     index order, with RunningStats Chan merges across fixed per-count
+//     blocks. (Per-worker accumulators are deliberately NOT used: the pool
+//     steals work, so which indices a worker ran is schedule-dependent and
+//     any per-worker partial would be too.)
+//
+// Two planes share the grid logic: the lightweight dim/log-vol estimator
+// (paper-scale curves, microseconds per point) and the full-Sigma matrix
+// estimator (real O(d^2)-per-hint work, the parallel benchmark workload).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lattice/bkz_sim.hpp"
+#include "lwe/dbdd.hpp"
+#include "numeric/stats.hpp"
+
+namespace reveal::core {
+
+/// One available hint in the sweep pool (what the side channel would yield
+/// for one error coordinate).
+struct SweepHint {
+  enum class Kind : std::uint8_t {
+    kPerfect,      ///< exact coefficient knowledge
+    kApproximate,  ///< noisy measurement, Gaussian conditioning
+    kPosterior,    ///< posterior replacement at `variance`
+  };
+  Kind kind = Kind::kPerfect;
+  double variance = 0.0;  ///< measurement / posterior variance (unused for perfect)
+};
+
+struct HintSweepConfig {
+  /// Sentinel for num_workers: resolve to hardware concurrency at use.
+  static constexpr std::size_t kAutoWorkers = static_cast<std::size_t>(-1);
+
+  lwe::DbddParams params;            ///< base LWE instance
+  std::vector<std::size_t> counts;   ///< hint-count grid (one curve point each)
+  std::size_t orders = 8;            ///< random hint subsets/orders per count
+  std::uint64_t base_seed = 0x5eed5eedULL;
+  std::size_t num_workers = kAutoWorkers;
+
+  /// Use the BKZ-simulator estimate instead of the GSA closed form
+  /// (lightweight sweep only).
+  bool simulated = false;
+  lattice::BkzSimParams sim_params;
+};
+
+/// Per-count summary (over the `orders` random orders of that count).
+struct HintSweepCell {
+  std::size_t count = 0;
+  num::RunningStats beta;  ///< bikz across orders
+  num::RunningStats bits;  ///< security bits across orders
+};
+
+struct HintSweepResult {
+  /// Flat grid, betas[count_index * orders + order_index]; the raw
+  /// per-task outputs (what worker-count invariance is asserted on).
+  std::vector<double> betas;
+  /// One cell per entry of config.counts, same order.
+  std::vector<HintSweepCell> cells;
+  /// Chan merge of every cell's beta stats, merged in count order.
+  num::RunningStats overall_beta;
+};
+
+/// Lightweight-estimator sweep: grid point (count c, order o) draws a
+/// random permutation of `pool` from its stream seed, integrates the first
+/// c hints into a fresh DbddEstimator in permutation order, and records the
+/// closed-form (or simulated) bikz. Requires every count <= pool size and
+/// pool size <= params.error_dim.
+[[nodiscard]] HintSweepResult run_hint_sweep(const HintSweepConfig& config,
+                                             const std::vector<SweepHint>& pool);
+
+/// Matrix-estimator sweep: same grid, but each task integrates its hints
+/// into a full-Sigma DbddMatrixEstimator as directional hints — perfect
+/// hints become coordinate hints on the permuted error coordinate, the
+/// noisy kinds become approximate hints along a random dense unit direction
+/// (seeded per task). Real O(d^2) work per grid point; the workload behind
+/// bench_lattice's parallel-sweep gate.
+[[nodiscard]] HintSweepResult run_matrix_hint_sweep(
+    const HintSweepConfig& config, const std::vector<SweepHint>& pool);
+
+}  // namespace reveal::core

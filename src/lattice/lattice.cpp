@@ -37,85 +37,13 @@ bool is_zero_row(const std::vector<std::int64_t>& row) {
   return true;
 }
 
-/// Flat row-major GSO state with lazy row validity.
-///
-/// GSO row i (star_i, mu[i][0..i), ||b*_i||^2) is a pure function of basis
-/// rows 0..i, evaluated here with exactly the arithmetic of compute_gso's
-/// row loop. The LLL kernel only ever perturbs basis row k after rows < k
-/// are final for the current sweep position, so a perturbation invalidates
-/// the GSO from row k on; rows past the high-water mark are recomputed on
-/// arrival. Reads therefore always observe the same long double values a
-/// full compute_gso of the current basis would produce — which is what
-/// makes lll_reduce byte-identical to lll_reduce_reference — while a
-/// size-reduction subtraction costs one O(k*d) row refresh instead of the
-/// reference's O(n^2*d) full recompute.
-class FlatGso {
- public:
-  explicit FlatGso(const Basis& basis)
-      : rows_(basis.size()), cols_(basis.front().size()) {
-    star_.assign(rows_ * cols_, 0.0L);
-    mu_.assign(rows_ * rows_, 0.0L);
-    norms_sq_.assign(rows_, 0.0L);
-  }
-
-  [[nodiscard]] long double mu(std::size_t i, std::size_t j) const noexcept {
-    return mu_[i * rows_ + j];
-  }
-  [[nodiscard]] long double norms_sq(std::size_t i) const noexcept {
-    return norms_sq_[i];
-  }
-
-  /// Marks GSO rows >= row as stale (basis row `row` was just modified,
-  /// swapped, or erased).
-  void invalidate_from(std::size_t row) noexcept { valid_ = std::min(valid_, row); }
-
-  /// Recomputes stale rows up to and including `i` from the current basis.
-  /// `basis.size()` may have shrunk below the constructed capacity (BKZ's
-  /// dependency removal); the flat buffers keep their original stride.
-  void ensure(std::size_t i, const Basis& basis) {
-    while (valid_ <= i) {
-      const std::size_t r = valid_;
-      long double* star_r = star_.data() + r * cols_;
-      long double* mu_r = mu_.data() + r * rows_;
-      for (std::size_t c = 0; c < cols_; ++c) {
-        star_r[c] = static_cast<long double>(basis[r][c]);
-      }
-      for (std::size_t j = 0; j < r; ++j) {
-        if (norms_sq_[j] <= 0.0L) {
-          mu_r[j] = 0.0L;
-          continue;
-        }
-        const long double* star_j = star_.data() + j * cols_;
-        long double proj = 0.0L;
-        for (std::size_t c = 0; c < cols_; ++c) {
-          proj += static_cast<long double>(basis[r][c]) * star_j[c];
-        }
-        const long double m = proj / norms_sq_[j];
-        mu_r[j] = m;
-        for (std::size_t c = 0; c < cols_; ++c) star_r[c] -= m * star_j[c];
-      }
-      long double ns = 0.0L;
-      for (std::size_t c = 0; c < cols_; ++c) ns += star_r[c] * star_r[c];
-      norms_sq_[r] = ns;
-      ++valid_;
-    }
-  }
-
- private:
-  std::size_t rows_;  ///< buffer stride (the constructed row count)
-  std::size_t cols_;
-  std::size_t valid_ = 0;  ///< rows [0, valid_) agree with the current basis
-  std::vector<long double> star_;
-  std::vector<long double> mu_;
-  std::vector<long double> norms_sq_;
-};
-
-/// LLL loop shared by the public lll_reduce and the dependency-removing
-/// variant used inside BKZ. Returns the number of swaps. If
+/// LLL loop shared by the public lll_reduce, the dependency-removing
+/// variant used inside BKZ, and the GSO-maintaining BKZ fast path (which
+/// passes its long-lived FlatGso). Returns the number of swaps. If
 /// `remove_dependencies` is set, rows that reduce to zero are erased.
-std::size_t lll_core(Basis& basis, double delta, bool remove_dependencies) {
+std::size_t lll_core(Basis& basis, double delta, bool remove_dependencies,
+                     FlatGso& gso) {
   std::size_t swaps = 0;
-  FlatGso gso(basis);
   std::size_t k = 1;
   while (k < basis.size()) {
     gso.ensure(k, basis);
@@ -153,6 +81,11 @@ std::size_t lll_core(Basis& basis, double delta, bool remove_dependencies) {
     }
   }
   return swaps;
+}
+
+std::size_t lll_core(Basis& basis, double delta, bool remove_dependencies) {
+  FlatGso gso(basis);
+  return lll_core(basis, delta, remove_dependencies, gso);
 }
 
 /// The pre-optimization loop: full compute_gso after every perturbation.
@@ -196,9 +129,21 @@ std::size_t lll_core_reference(Basis& basis, double delta, bool remove_dependenc
   return swaps;
 }
 
+/// Uniform GSO accessors so the enumeration core runs unchanged — with
+/// identical long double arithmetic — over Gso and FlatGso.
+inline long double gso_norm_sq(const Gso& g, std::size_t i) { return g.norms_sq[i]; }
+inline long double gso_norm_sq(const FlatGso& g, std::size_t i) { return g.norms_sq(i); }
+inline long double gso_mu(const Gso& g, std::size_t i, std::size_t j) {
+  return g.mu[i][j];
+}
+inline long double gso_mu(const FlatGso& g, std::size_t i, std::size_t j) {
+  return g.mu(i, j);
+}
+
 /// Recursive Fincke-Pohst / Schnorr-Euchner style search.
+template <typename GsoT>
 struct EnumState {
-  const Gso* gso;
+  const GsoT* gso;
   std::size_t begin;
   std::size_t dim;
   std::vector<std::int64_t> x;
@@ -207,7 +152,8 @@ struct EnumState {
   bool found;
 };
 
-void enum_dfs(EnumState& st, std::size_t level_plus1, long double rho) {
+template <typename GsoT>
+void enum_dfs(EnumState<GsoT>& st, std::size_t level_plus1, long double rho) {
   if (level_plus1 == 0) {
     if (rho >= st.best_norm) return;
     bool nonzero = false;
@@ -225,12 +171,12 @@ void enum_dfs(EnumState& st, std::size_t level_plus1, long double rho) {
     return;
   }
   const std::size_t i = level_plus1 - 1;
-  const long double bi = st.gso->norms_sq[st.begin + i];
+  const long double bi = gso_norm_sq(*st.gso, st.begin + i);
   if (bi <= 0.0L) return;  // degenerate direction: nothing to gain
   // Projection center from already-fixed higher coordinates.
   long double c = 0.0L;
   for (std::size_t j = i + 1; j < st.dim; ++j) {
-    c -= static_cast<long double>(st.x[j]) * st.gso->mu[st.begin + j][st.begin + i];
+    c -= static_cast<long double>(st.x[j]) * gso_mu(*st.gso, st.begin + j, st.begin + i);
   }
   // Admissible interval from the current bound (a superset once best_norm
   // shrinks during recursion; the per-candidate check below stays exact).
@@ -245,6 +191,34 @@ void enum_dfs(EnumState& st, std::size_t level_plus1, long double rho) {
     enum_dfs(st, i, rho + contrib);
   }
   st.x[i] = 0;
+}
+
+template <typename GsoT>
+EnumResult enumerate_shortest_impl(const GsoT& gso, std::size_t begin,
+                                   std::size_t end, long double radius_sq) {
+  EnumResult result;
+  if (begin >= end)
+    throw std::invalid_argument("enumerate_shortest: bad block bounds");
+  const std::size_t dim = end - begin;
+  if (radius_sq <= 0.0L) radius_sq = gso_norm_sq(gso, begin) * (1.0L - 1e-12L);
+  if (radius_sq <= 0.0L) return result;
+
+  EnumState<GsoT> st;
+  st.gso = &gso;
+  st.begin = begin;
+  st.dim = dim;
+  st.x.assign(dim, 0);
+  st.best.assign(dim, 0);
+  st.best_norm = radius_sq;
+  st.found = false;
+  enum_dfs(st, dim, 0.0L);
+
+  if (st.found) {
+    result.found = true;
+    result.coefficients = std::move(st.best);
+    result.norm_sq = st.best_norm;
+  }
+  return result;
 }
 
 }  // namespace
@@ -284,6 +258,54 @@ Gso compute_gso(const Basis& basis) {
   return gso;
 }
 
+FlatGso::FlatGso(const Basis& basis)
+    : FlatGso(basis.size(), basis.front().size()) {}
+
+FlatGso::FlatGso(std::size_t rows_capacity, std::size_t cols)
+    : rows_(rows_capacity), cols_(cols) {
+  star_.assign(rows_ * cols_, 0.0L);
+  mu_.assign(rows_ * rows_, 0.0L);
+  norms_sq_.assign(rows_, 0.0L);
+}
+
+void FlatGso::ensure(std::size_t i, const Basis& basis) {
+  if (basis.size() > rows_) {
+    // Defensive growth (BKZ pre-sizes capacity, so this is cold): restride
+    // the buffers and recompute from scratch.
+    rows_ = basis.size();
+    star_.assign(rows_ * cols_, 0.0L);
+    mu_.assign(rows_ * rows_, 0.0L);
+    norms_sq_.assign(rows_, 0.0L);
+    valid_ = 0;
+  }
+  while (valid_ <= i) {
+    const std::size_t r = valid_;
+    long double* star_r = star_.data() + r * cols_;
+    long double* mu_r = mu_.data() + r * rows_;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      star_r[c] = static_cast<long double>(basis[r][c]);
+    }
+    for (std::size_t j = 0; j < r; ++j) {
+      if (norms_sq_[j] <= 0.0L) {
+        mu_r[j] = 0.0L;
+        continue;
+      }
+      const long double* star_j = star_.data() + j * cols_;
+      long double proj = 0.0L;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        proj += static_cast<long double>(basis[r][c]) * star_j[c];
+      }
+      const long double m = proj / norms_sq_[j];
+      mu_r[j] = m;
+      for (std::size_t c = 0; c < cols_; ++c) star_r[c] -= m * star_j[c];
+    }
+    long double ns = 0.0L;
+    for (std::size_t c = 0; c < cols_; ++c) ns += star_r[c] * star_r[c];
+    norms_sq_[r] = ns;
+    ++valid_;
+  }
+}
+
 std::size_t lll_reduce(Basis& basis, const LllParams& params) {
   check_rectangular(basis);
   if (!(params.delta > 0.25 && params.delta <= 1.0))
@@ -321,32 +343,55 @@ bool is_lll_reduced(const Basis& basis, double delta, double tolerance) {
 
 EnumResult enumerate_shortest(const Gso& gso, std::size_t begin, std::size_t end,
                               long double radius_sq) {
-  EnumResult result;
-  if (begin >= end || end > gso.norms_sq.size())
+  if (end > gso.norms_sq.size())
     throw std::invalid_argument("enumerate_shortest: bad block bounds");
-  const std::size_t dim = end - begin;
-  if (radius_sq <= 0.0L) radius_sq = gso.norms_sq[begin] * (1.0L - 1e-12L);
-  if (radius_sq <= 0.0L) return result;
+  return enumerate_shortest_impl(gso, begin, end, radius_sq);
+}
 
-  EnumState st;
-  st.gso = &gso;
-  st.begin = begin;
-  st.dim = dim;
-  st.x.assign(dim, 0);
-  st.best.assign(dim, 0);
-  st.best_norm = radius_sq;
-  st.found = false;
-  enum_dfs(st, dim, 0.0L);
-
-  if (st.found) {
-    result.found = true;
-    result.coefficients = std::move(st.best);
-    result.norm_sq = st.best_norm;
-  }
-  return result;
+EnumResult enumerate_shortest(const FlatGso& gso, std::size_t begin, std::size_t end,
+                              long double radius_sq) {
+  return enumerate_shortest_impl(gso, begin, end, radius_sq);
 }
 
 std::size_t bkz_reduce(Basis& basis, const BkzParams& params) {
+  check_rectangular(basis);
+  if (params.block_size < 2) throw std::invalid_argument("bkz_reduce: block size < 2");
+  if (!(params.delta > 0.25 && params.delta <= 1.0))
+    throw std::invalid_argument("lll_reduce: delta must be in (1/4, 1]");
+  // One GSO for the whole reduction: block positions whose prefix did not
+  // change since the last visit re-read valid rows for free, and an
+  // insertion at k recomputes rows >= k only. Capacity +1 covers the
+  // transient row that insertion adds before dependency removal drops one.
+  FlatGso gso(basis.size() + 1, basis.front().size());
+  if (basis.size() >= 2) lll_core(basis, params.delta, /*remove_dependencies=*/false, gso);
+  std::size_t insertions = 0;
+
+  for (std::size_t tour = 0; tour < params.max_tours; ++tour) {
+    bool changed = false;
+    for (std::size_t k = 0; k + 1 < basis.size(); ++k) {
+      const std::size_t end = std::min(k + params.block_size, basis.size());
+      gso.ensure(end - 1, basis);
+      const EnumResult best = enumerate_shortest(gso, k, end);
+      if (!best.found) continue;
+      if (best.norm_sq >= gso.norms_sq(k) * (1.0L - 1e-9L)) continue;
+      // Form v = sum_j c_j b_{k+j}, insert before position k, and let LLL
+      // with dependency removal restore a proper basis.
+      std::vector<std::int64_t> new_row(basis.front().size(), 0);
+      for (std::size_t j = 0; j < best.coefficients.size(); ++j) {
+        axpy(new_row, -best.coefficients[j], basis[k + j]);
+      }
+      basis.insert(basis.begin() + static_cast<std::ptrdiff_t>(k), std::move(new_row));
+      gso.invalidate_from(k);
+      lll_core(basis, params.delta, /*remove_dependencies=*/true, gso);
+      ++insertions;
+      changed = true;
+    }
+    if (!changed) break;
+  }
+  return insertions;
+}
+
+std::size_t bkz_reduce_reference(Basis& basis, const BkzParams& params) {
   check_rectangular(basis);
   if (params.block_size < 2) throw std::invalid_argument("bkz_reduce: block size < 2");
   lll_reduce(basis, {params.delta});
@@ -360,8 +405,6 @@ std::size_t bkz_reduce(Basis& basis, const BkzParams& params) {
       const EnumResult best = enumerate_shortest(gso, k, end);
       if (!best.found) continue;
       if (best.norm_sq >= gso.norms_sq[k] * (1.0L - 1e-9L)) continue;
-      // Form v = sum_j c_j b_{k+j}, insert before position k, and let LLL
-      // with dependency removal restore a proper basis.
       std::vector<std::int64_t> new_row(basis.front().size(), 0);
       for (std::size_t j = 0; j < best.coefficients.size(); ++j) {
         axpy(new_row, -best.coefficients[j], basis[k + j]);

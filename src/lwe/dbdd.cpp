@@ -1,31 +1,21 @@
 #include "lwe/dbdd.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 #include <numbers>
 #include <stdexcept>
 
 namespace reveal::lwe {
 
 namespace {
-constexpr double kTwoPiE = 2.0 * std::numbers::pi * std::numbers::e;
 constexpr double kSmallBeta = 2.0;
-constexpr double kSmallBetaDelta = 1.0219;  // experimental rhf of LLL-ish reduction
-constexpr double kFormulaFloor = 36.0;
-
-double delta_formula(double beta) {
-  return std::pow(std::pow(std::numbers::pi * beta, 1.0 / beta) * beta / kTwoPiE,
-                  1.0 / (2.0 * (beta - 1.0)));
-}
 }  // namespace
 
 double bkz_delta(double beta) {
-  if (beta < kSmallBeta) beta = kSmallBeta;
-  if (beta >= kFormulaFloor) return delta_formula(beta);
-  // Log-linear interpolation between (2, 1.0219) and (36, formula(36)).
-  const double lo = std::log(kSmallBetaDelta);
-  const double hi = std::log(delta_formula(kFormulaFloor));
-  const double t = (beta - kSmallBeta) / (kFormulaFloor - kSmallBeta);
-  return std::exp(lo + t * (hi - lo));
+  // Single definition lives with the profile simulator (the two must agree
+  // on the root-Hermite model for its small-block regime).
+  return lattice::root_hermite_delta(beta);
 }
 
 DbddEstimator::DbddEstimator(const DbddParams& params) {
@@ -113,9 +103,9 @@ void DbddEstimator::integrate_modular_error_hints(double k, std::size_t count) {
   log_vol_lattice_ += static_cast<double>(count) * std::log(k);
 }
 
-SecurityEstimate DbddEstimator::estimate() const {
-  const auto d = static_cast<double>(dim());
-  const double nu = logvol();
+SecurityEstimate estimate_from_dim_logvol(std::size_t dim, double logvol) {
+  const auto d = static_cast<double>(dim);
+  const double nu = logvol;
 
   // f(beta) >= 0 iff BKZ-beta succeeds:
   //   f = (2*beta - d - 1)*ln(delta) + nu/d - 0.5*ln(beta)
@@ -125,7 +115,7 @@ SecurityEstimate DbddEstimator::estimate() const {
   };
 
   SecurityEstimate out;
-  out.dim = dim();
+  out.dim = dim;
   double lo = kSmallBeta;
   double hi = d;
   if (f(lo) >= 0.0) {
@@ -142,6 +132,59 @@ SecurityEstimate DbddEstimator::estimate() const {
   }
   out.delta = bkz_delta(out.beta);
   out.bits = out.beta / kBikzPerBit;
+  return out;
+}
+
+SecurityEstimate DbddEstimator::estimate() const {
+  return estimate_from_dim_logvol(dim(), logvol());
+}
+
+std::vector<double> DbddEstimator::normalized_log_profile() const {
+  std::vector<double> profile;
+  profile.reserve(dim());
+  if (!error_vars_.empty()) {
+    const double vol_share =
+        log_vol_lattice_ / static_cast<double>(error_vars_.size());
+    for (const double v : error_vars_) {
+      profile.push_back(vol_share - 0.5 * std::log(v));
+    }
+    for (const double v : secret_vars_) profile.push_back(-0.5 * std::log(v));
+    profile.push_back(0.0);  // homogenization row
+  } else {
+    // Degenerate: every error coordinate eliminated — spread the lattice
+    // volume evenly so the profile still sums to logvol().
+    const double vol_share =
+        log_vol_lattice_ / static_cast<double>(secret_vars_.size() + 1);
+    for (const double v : secret_vars_) {
+      profile.push_back(vol_share - 0.5 * std::log(v));
+    }
+    profile.push_back(vol_share);
+  }
+  std::sort(profile.begin(), profile.end(), std::greater<double>());
+  return profile;
+}
+
+SecurityEstimate DbddEstimator::estimate_simulated(
+    const lattice::BkzSimParams& params) const {
+  const double beta =
+      lattice::simulated_intersect_beta(normalized_log_profile(), params);
+  SecurityEstimate out;
+  out.dim = dim();
+  out.beta = beta;
+  out.delta = bkz_delta(beta);
+  out.bits = beta / kBikzPerBit;
+  return out;
+}
+
+SecurityEstimate DbddEstimator::estimate_simulated_reference(
+    const lattice::BkzSimParams& params) const {
+  const double beta = lattice::simulated_intersect_beta_reference(
+      normalized_log_profile(), params);
+  SecurityEstimate out;
+  out.dim = dim();
+  out.beta = beta;
+  out.delta = bkz_delta(beta);
+  out.bits = beta / kBikzPerBit;
   return out;
 }
 

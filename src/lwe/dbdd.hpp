@@ -27,6 +27,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "lattice/bkz_sim.hpp"
+
 namespace reveal::lwe {
 
 /// bikz per bit of security (382.25 / 128, paper footnote 3).
@@ -51,6 +53,11 @@ struct SecurityEstimate {
   double bits = 0.0;   ///< beta / kBikzPerBit
   std::size_t dim = 0; ///< dimension of the estimated uSVP instance
 };
+
+/// GSA-intersect bisection shared by the estimators: the smallest beta with
+/// (2*beta - dim - 1)*ln(delta(beta)) + logvol/dim - 0.5*ln(beta) >= 0.
+[[nodiscard]] SecurityEstimate estimate_from_dim_logvol(std::size_t dim,
+                                                        double logvol);
 
 class DbddEstimator {
  public:
@@ -82,6 +89,27 @@ class DbddEstimator {
 
   /// Solves the GSA-intersect condition for the smallest viable beta.
   [[nodiscard]] SecurityEstimate estimate() const;
+
+  /// Sigma-normalized per-coordinate log profile (sorted descending) of the
+  /// current DBDD instance — the BKZ simulator's input. Live error
+  /// coordinates carry an even share of the lattice log-volume on top of
+  /// their -1/2 ln(var) normalization, secret coordinates carry
+  /// -1/2 ln(var), the homogenization row is 0; the entries sum to
+  /// logvol(), so the simulated and closed-form estimates see the same
+  /// normalized volume.
+  [[nodiscard]] std::vector<double> normalized_log_profile() const;
+
+  /// BKZ-simulator bikz estimate (CN11 profile simulation + 2016-estimate
+  /// intersect) — the fast path for full paper-scale hint curves. The
+  /// closed-form estimate() and estimate_simulated_reference() are its
+  /// anchors.
+  [[nodiscard]] SecurityEstimate estimate_simulated(
+      const lattice::BkzSimParams& params = {}) const;
+
+  /// Same predicate through the naive-summation simulator and a linear
+  /// block-size scan (differential anchor for estimate_simulated).
+  [[nodiscard]] SecurityEstimate estimate_simulated_reference(
+      const lattice::BkzSimParams& params = {}) const;
 
  private:
   double pop_error_variance();

@@ -1,12 +1,40 @@
 #pragma once
 // Streaming and batch statistics used across the SCA toolkit.
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
 #include "numeric/matrix.hpp"
 
 namespace reveal::num {
+
+/// Neumaier-compensated scalar accumulator: the compensation idiom of the
+/// smoothing kernel in sca::smooth, packaged for reuse wherever a long
+/// running sum must not drift (e.g. the DBDD log-volume over 10k+ hint
+/// contributions). The running error term absorbs whichever addend loses
+/// low bits; value() folds it back in.
+class NeumaierSum {
+ public:
+  NeumaierSum() = default;
+  explicit NeumaierSum(double initial) noexcept : sum_(initial) {}
+
+  void add(double v) noexcept {
+    const double t = sum_ + v;
+    if (std::fabs(sum_) >= std::fabs(v)) {
+      comp_ += (sum_ - t) + v;
+    } else {
+      comp_ += (v - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  [[nodiscard]] double value() const noexcept { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
 
 /// Numerically stable streaming mean/variance (Welford's algorithm).
 class RunningStats {

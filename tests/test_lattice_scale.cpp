@@ -1,0 +1,506 @@
+// Differential suite for the paper-scale lattice plane: the blocked /
+// sparse / batched DBDD matrix fast paths vs the dense per-hint reference,
+// the maintained FlatGso vs compute_gso, the fast BKZ loop vs the
+// per-position-recompute reference, the CN11-style BKZ simulator vs its
+// naive anchor, and the WorkerPool hint sweeps' worker-count invariance.
+//
+// Registered under both the ASan/UBSan and TSan configs (see
+// tests/CMakeLists.txt): the flat Sigma/GSO buffers are the riskiest
+// pointer arithmetic in the analysis plane, and the sweep fans out over
+// the work-stealing pool.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/hint_sweep.hpp"
+#include "lattice/bkz_sim.hpp"
+#include "lattice/lattice.hpp"
+#include "lwe/dbdd.hpp"
+#include "lwe/dbdd_matrix.hpp"
+
+using namespace reveal;
+using lwe::DbddMatrixEstimator;
+using lwe::DbddMatrixEstimatorReference;
+using lwe::HintOutcome;
+
+namespace {
+
+lwe::DbddParams tight_params(std::size_t n) {
+  // q tight enough that the instance is not already broken at beta = 2.
+  lwe::DbddParams p;
+  p.secret_dim = n;
+  p.error_dim = n;
+  p.q = 67.0;
+  p.secret_variance = 2.0 / 3.0;
+  p.error_variance = 2.25;
+  return p;
+}
+
+double max_sigma_diff(const num::Matrix& a, const num::Matrix& b) {
+  double md = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      md = std::max(md, std::fabs(a(i, j) - b(i, j)));
+  return md;
+}
+
+std::vector<double> random_unit_dir(std::mt19937_64& rng, std::size_t dim) {
+  std::normal_distribution<double> gauss;
+  std::vector<double> v(dim);
+  double nsq = 0.0;
+  for (double& x : v) {
+    x = gauss(rng);
+    nsq += x * x;
+  }
+  const double inv = 1.0 / std::sqrt(nsq);
+  for (double& x : v) x *= inv;
+  return v;
+}
+
+lattice::Basis random_basis(std::mt19937_64& rng, std::size_t n, int spread,
+                            int diag) {
+  lattice::Basis basis(n, std::vector<std::int64_t>(n, 0));
+  std::uniform_int_distribution<int> entry(-spread, spread);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) basis[i][j] = entry(rng);
+    basis[i][i] += diag;
+  }
+  return basis;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Matrix estimator: fast vs reference differential fuzz.
+
+TEST(MatrixDifferential, MixedSequencesAgreeWithReference) {
+  std::mt19937_64 rng(0xfeedULL);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 12 + 10 * static_cast<std::size_t>(trial % 3);
+    const auto params = tight_params(n);
+    const std::size_t ambient = 2 * n;
+    DbddMatrixEstimator fast(params);
+    DbddMatrixEstimatorReference ref(params);
+
+    std::uniform_int_distribution<int> op_pick(0, 4);
+    std::uniform_int_distribution<std::size_t> coord_pick(0, ambient - 1);
+    std::uniform_real_distribution<double> eps_pick(0.3, 2.0);
+    std::vector<double> last_dir;
+    for (int step = 0; step < 40; ++step) {
+      switch (op_pick(rng)) {
+        case 0: {  // coordinate perfect hint
+          const std::size_t c = coord_pick(rng);
+          EXPECT_EQ(fast.integrate_perfect_coordinate_hints({c}),
+                    ref.integrate_perfect_coordinate_hints({c}));
+          break;
+        }
+        case 1: {  // dense perfect hint
+          last_dir = random_unit_dir(rng, ambient);
+          EXPECT_EQ(fast.integrate_perfect_hint(last_dir),
+                    ref.integrate_perfect_hint(last_dir));
+          break;
+        }
+        case 2: {  // dense approximate hint
+          const auto v = random_unit_dir(rng, ambient);
+          const double eps = eps_pick(rng);
+          EXPECT_EQ(fast.integrate_approximate_hint(v, eps),
+                    ref.integrate_approximate_hint(v, eps));
+          break;
+        }
+        case 3: {  // batched dense perfect hints
+          std::vector<std::vector<double>> dirs;
+          for (int k = 0; k < 3; ++k) dirs.push_back(random_unit_dir(rng, ambient));
+          EXPECT_EQ(fast.integrate_perfect_hints(dirs),
+                    ref.integrate_perfect_hints(dirs));
+          break;
+        }
+        default: {  // repeated direction: exercise the degenerate path
+          if (last_dir.empty()) break;
+          EXPECT_EQ(fast.integrate_perfect_hint(last_dir),
+                    ref.integrate_perfect_hint(last_dir));
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(fast.dim(), ref.dim());
+    EXPECT_EQ(fast.rejected_hints(), ref.rejected_hints());
+    EXPECT_NEAR(fast.logvol(), ref.logvol(),
+                1e-9 * std::max(1.0, std::fabs(ref.logvol())));
+    EXPECT_NEAR(fast.estimate().beta, ref.estimate().beta, 1e-9);
+    EXPECT_LE(max_sigma_diff(fast.sigma(), ref.sigma()), 1e-9);
+  }
+}
+
+TEST(MatrixDifferential, CoordinateSequencesAreBitIdentical) {
+  std::mt19937_64 rng(0xc0ffeeULL);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto params = tight_params(24);
+    DbddMatrixEstimator fast(params);
+    DbddMatrixEstimatorReference ref(params);
+    std::uniform_int_distribution<std::size_t> coord_pick(0, 47);
+    for (int step = 0; step < 40; ++step) {
+      const std::size_t c = coord_pick(rng);
+      ASSERT_EQ(fast.integrate_perfect_coordinate_hints({c}),
+                ref.integrate_perfect_coordinate_hints({c}));
+    }
+    // Coordinate-only sequences replay the reference arithmetic exactly.
+    EXPECT_EQ(fast.logvol(), ref.logvol());
+    EXPECT_EQ(fast.estimate().beta, ref.estimate().beta);
+    EXPECT_EQ(max_sigma_diff(fast.sigma(), ref.sigma()), 0.0);
+  }
+}
+
+TEST(MatrixDifferential, BatchedCoordinateHintsMatchSequentialBitExactly) {
+  const auto params = tight_params(24);
+  std::vector<std::size_t> coords = {3, 17, 40, 3, 9, 47, 22, 9, 31, 0};
+  DbddMatrixEstimator batched(params);
+  DbddMatrixEstimator sequential(params);
+  const auto batch_out = batched.integrate_perfect_coordinate_hints(coords);
+  std::vector<HintOutcome> seq_out;
+  for (const std::size_t c : coords)
+    seq_out.push_back(sequential.integrate_perfect_coordinate_hints({c})[0]);
+  EXPECT_EQ(batch_out, seq_out);
+  EXPECT_EQ(batched.logvol(), sequential.logvol());
+  EXPECT_EQ(max_sigma_diff(batched.sigma(), sequential.sigma()), 0.0);
+}
+
+TEST(MatrixDifferential, BatchedDenseHintsMatchSequential) {
+  std::mt19937_64 rng(99);
+  const auto params = tight_params(20);
+  std::vector<std::vector<double>> dirs;
+  for (int k = 0; k < 9; ++k) dirs.push_back(random_unit_dir(rng, 40));
+  DbddMatrixEstimator batched(params);
+  DbddMatrixEstimator sequential(params);
+  const auto batch_out = batched.integrate_perfect_hints(dirs);
+  std::vector<HintOutcome> seq_out;
+  for (const auto& v : dirs) seq_out.push_back(sequential.integrate_perfect_hint(v));
+  EXPECT_EQ(batch_out, seq_out);
+  EXPECT_NEAR(batched.logvol(), sequential.logvol(), 1e-9);
+  EXPECT_LE(max_sigma_diff(batched.sigma(), sequential.sigma()), 1e-9);
+}
+
+TEST(MatrixOutcomes, ExhaustionIsTypedNotThrown) {
+  lwe::DbddParams p = tight_params(3);  // ambient dim 6
+  DbddMatrixEstimator est(p);
+  std::size_t applied = 0;
+  std::vector<HintOutcome> tail;
+  for (std::size_t c = 0; c < 6; ++c) {
+    const HintOutcome out = est.integrate_perfect_coordinate_hints({c})[0];
+    if (out == HintOutcome::kApplied) ++applied;
+    tail.push_back(out);
+  }
+  // d - 1 = 5 coordinates can be eliminated; the sixth must be a typed
+  // rejection (never a throw mid-sweep).
+  EXPECT_EQ(applied, 5u);
+  EXPECT_EQ(tail.back(), HintOutcome::kExhausted);
+  EXPECT_EQ(est.dim(), 2u);
+  // Approximate hints still integrate into the remaining coordinate.
+  std::vector<double> v(6, 0.0);
+  v[5] = 1.0;
+  EXPECT_EQ(est.integrate_approximate_hint(v, 1.0), HintOutcome::kApplied);
+}
+
+TEST(MatrixNeumaier, TenThousandHintLogvolStaysTight) {
+  // Satellite regression: 10k approximate hints accumulate the log-volume
+  // through the Neumaier-compensated sum; fast and reference must agree to
+  // ~1e-9 ABSOLUTE after the whole sequence (a naive double accumulator
+  // drifts well past that across 10k heterogeneous contributions), and the
+  // periodically re-symmetrized Sigma must stay symmetric and close to the
+  // reference's.
+  const auto params = tight_params(24);
+  DbddMatrixEstimator fast(params);
+  DbddMatrixEstimatorReference ref(params);
+  std::mt19937_64 rng(2024);
+  std::uniform_int_distribution<std::size_t> coord_pick(0, 47);
+  std::uniform_real_distribution<double> eps_pick(0.8, 40.0);
+  std::vector<double> v(48, 0.0);
+  for (int step = 0; step < 10000; ++step) {
+    const std::size_t c = coord_pick(rng);
+    const double eps = eps_pick(rng);
+    v[c] = 1.0;
+    ASSERT_EQ(fast.integrate_approximate_hint(v, eps),
+              ref.integrate_approximate_hint(v, eps));
+    v[c] = 0.0;
+  }
+  EXPECT_NEAR(fast.logvol(), ref.logvol(), 1e-9);
+  const num::Matrix sf = fast.sigma();
+  double max_asym = 0.0;
+  for (std::size_t i = 0; i < sf.rows(); ++i)
+    for (std::size_t j = i + 1; j < sf.cols(); ++j)
+      max_asym = std::max(max_asym, std::fabs(sf(i, j) - sf(j, i)));
+  EXPECT_EQ(max_asym, 0.0);  // mirrored upper triangle is canonical
+  EXPECT_LE(max_sigma_diff(sf, ref.sigma()), 1e-9);
+}
+
+TEST(MatrixLite, AgreesWithLightweightAtPaperDims) {
+  // n = m = 1024 smoke: the full-Sigma plane and the lightweight tracker
+  // must tell the same story on the paper's instance under coordinate
+  // hints.
+  lwe::DbddParams p;
+  p.secret_dim = p.error_dim = 1024;
+  p.q = 132120577.0;
+  p.secret_variance = p.error_variance = 3.2 * 3.2;
+  DbddMatrixEstimator full(p);
+  lwe::DbddEstimator lite(p);
+  std::vector<std::size_t> coords;
+  for (std::size_t i = 0; i < 200; ++i) coords.push_back(i);
+  (void)full.integrate_perfect_coordinate_hints(coords);
+  lite.integrate_perfect_error_hints(200);
+  EXPECT_EQ(full.dim(), lite.dim());
+  EXPECT_NEAR(full.logvol(), lite.logvol(), 1e-6 * std::fabs(lite.logvol()));
+  EXPECT_NEAR(full.estimate().beta, lite.estimate().beta, 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental GSO: FlatGso::ensure vs compute_gso, and enumeration parity.
+
+TEST(FlatGsoIncremental, EnsureMatchesComputeGsoAfterPerturbations) {
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 6; ++trial) {
+    lattice::Basis basis = random_basis(rng, 14, 30, 90);
+    lattice::FlatGso gso(basis);
+    gso.ensure(basis.size() - 1, basis);
+    std::uniform_int_distribution<std::size_t> row_pick(1, basis.size() - 1);
+    std::uniform_int_distribution<int> mul(-3, 3);
+    for (int step = 0; step < 12; ++step) {
+      // Size-reduction-shaped perturbation: row k -= m * row j (j < k).
+      const std::size_t k = row_pick(rng);
+      const std::size_t j = k - 1;
+      const int m = mul(rng);
+      for (std::size_t c = 0; c < basis[k].size(); ++c)
+        basis[k][c] -= m * basis[j][c];
+      gso.invalidate_from(k);
+      gso.ensure(basis.size() - 1, basis);
+      const lattice::Gso full = lattice::compute_gso(basis);
+      for (std::size_t i = 0; i < basis.size(); ++i) {
+        ASSERT_EQ(gso.norms_sq(i), full.norms_sq[i]) << "row " << i;
+        for (std::size_t c = 0; c < i; ++c)
+          ASSERT_EQ(gso.mu(i, c), full.mu[i][c]) << i << "," << c;
+      }
+    }
+  }
+}
+
+TEST(FlatGsoIncremental, EnumerationAgreesAcrossGsoRepresentations) {
+  std::mt19937_64 rng(47);
+  for (int trial = 0; trial < 5; ++trial) {
+    const lattice::Basis basis = random_basis(rng, 12, 25, 70);
+    const lattice::Gso full = lattice::compute_gso(basis);
+    lattice::FlatGso flat(basis);
+    flat.ensure(basis.size() - 1, basis);
+    for (std::size_t begin = 0; begin + 2 <= basis.size(); begin += 3) {
+      const std::size_t end = std::min(begin + 6, basis.size());
+      const auto a = lattice::enumerate_shortest(full, begin, end);
+      const auto b = lattice::enumerate_shortest(flat, begin, end);
+      ASSERT_EQ(a.found, b.found);
+      ASSERT_EQ(a.coefficients, b.coefficients);
+      ASSERT_EQ(a.norm_sq, b.norm_sq);
+    }
+  }
+}
+
+TEST(BkzDifferential, FastMatchesReferenceFuzz) {
+  std::mt19937_64 rng(77);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 10 + 4 * static_cast<std::size_t>(trial % 3);
+    lattice::BkzParams params;
+    params.block_size = 4 + static_cast<std::size_t>(trial % 3) * 3;
+    params.max_tours = 6;
+    lattice::Basis fast_basis = random_basis(rng, n, 40, 120);
+    lattice::Basis ref_basis = fast_basis;
+    const std::size_t fast_ins = lattice::bkz_reduce(fast_basis, params);
+    const std::size_t ref_ins = lattice::bkz_reduce_reference(ref_basis, params);
+    EXPECT_EQ(fast_ins, ref_ins);
+    EXPECT_EQ(fast_basis, ref_basis);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BKZ simulator: fast vs naive anchor, and external anchors.
+
+TEST(BkzSimDifferential, ProfilesAreBitIdentical) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> noise(-0.05, 0.05);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t d = 30 + 17 * static_cast<std::size_t>(trial);
+    std::vector<double> profile(d);
+    const double slope = 0.004 + 0.004 * static_cast<double>(trial % 4);
+    for (std::size_t i = 0; i < d; ++i)
+      profile[i] =
+          slope * (static_cast<double>(d) / 2 - static_cast<double>(i)) +
+          noise(rng) + 1.5;
+    lattice::BkzSimParams params;
+    params.max_tours = 32;
+    const std::size_t beta = 2 + static_cast<std::size_t>(rng() % (d - 2));
+    const auto fast = lattice::simulate_bkz_profile(profile, beta, params);
+    const auto ref = lattice::simulate_bkz_profile_reference(profile, beta, params);
+    ASSERT_EQ(fast, ref) << "d=" << d << " beta=" << beta;
+  }
+}
+
+TEST(BkzSimDifferential, IntersectBetaMatchesReferenceFuzz) {
+  std::mt19937_64 rng(6);
+  std::uniform_real_distribution<double> noise(-0.02, 0.02);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t d = 40 + 23 * static_cast<std::size_t>(trial);
+    std::vector<double> profile(d);
+    const double slope = 0.004 + 0.005 * static_cast<double>(trial % 3);
+    for (std::size_t i = 0; i < d; ++i)
+      profile[i] =
+          slope * (static_cast<double>(d) / 2 - static_cast<double>(i)) +
+          noise(rng) + 2.0;
+    lattice::BkzSimParams params;
+    params.max_tours = 24;
+    EXPECT_EQ(lattice::simulated_intersect_beta(profile, params),
+              lattice::simulated_intersect_beta_reference(profile, params))
+        << "d=" << d;
+  }
+}
+
+TEST(BkzSimAnchor, TracksClosedFormOnSmallInstances) {
+  // Overlapping-dimension differential anchor: in regimes where the GSA
+  // closed form is trustworthy, the simulator must land within a few bikz.
+  for (const std::size_t n : {64u, 128u}) {
+    lwe::DbddParams p;
+    p.secret_dim = p.error_dim = n;
+    p.q = 3329.0;
+    p.secret_variance = p.error_variance = 2.25;
+    const lwe::DbddEstimator est(p);
+    const double closed = est.estimate().beta;
+    const double sim = est.estimate_simulated().beta;
+    const double sim_ref = est.estimate_simulated_reference().beta;
+    EXPECT_EQ(sim, sim_ref);
+    EXPECT_NEAR(sim, closed, 20.0) << "n=" << n;
+  }
+}
+
+TEST(BkzSimAnchor, PaperScaleCurveIsSane) {
+  // n = m = 1024, q = 132120577, sigma = 3.2 (paper section V): no hints
+  // lands near the paper's 382 bikz; hints only ever lower the estimate;
+  // full error knowledge breaks the instance outright.
+  lwe::DbddParams p;
+  p.secret_dim = p.error_dim = 1024;
+  p.q = 132120577.0;
+  p.secret_variance = p.error_variance = 3.2 * 3.2;
+
+  lwe::DbddEstimator none(p);
+  const double closed0 = none.estimate().beta;
+  const double sim0 = none.estimate_simulated().beta;
+  EXPECT_NEAR(sim0, 382.25, 30.0);  // paper Table III headline
+  EXPECT_NEAR(sim0, closed0, 30.0);
+
+  double prev = sim0;
+  for (const std::size_t hints : {512u, 900u}) {
+    lwe::DbddEstimator est(p);
+    est.integrate_perfect_error_hints(hints);
+    const double sim = est.estimate_simulated().beta;
+    EXPECT_LT(sim, prev);
+    EXPECT_NEAR(sim, est.estimate().beta, 10.0) << hints << " hints";
+    prev = sim;
+  }
+
+  lwe::DbddEstimator full(p);
+  full.integrate_perfect_error_hints(1024);
+  EXPECT_LE(full.estimate_simulated().beta, 40.0);
+}
+
+TEST(BkzSimAnchor, SmallDimensionActualReductionAnchor) {
+  // Ground-truth anchor with generous margins: a planted near-diagonal
+  // basis is easy (its profile is balanced), and actual BKZ at the block
+  // size the simulator regime implies must find a vector no longer than
+  // the Gaussian-heuristic ballpark of the instance.
+  std::mt19937_64 rng(404);
+  lattice::Basis basis = random_basis(rng, 20, 10, 40);
+  long double det_proxy = 0.0;
+  {
+    const lattice::Gso gso = lattice::compute_gso(basis);
+    for (std::size_t i = 0; i < basis.size(); ++i)
+      det_proxy += 0.5L * std::log(static_cast<double>(gso.norms_sq[i]));
+  }
+  lattice::BkzParams params;
+  params.block_size = 8;
+  (void)lattice::bkz_reduce(basis, params);
+  const std::vector<std::int64_t> shortest = lattice::shortest_row(basis);
+  const double found_log = 0.5 * std::log(static_cast<double>(
+                               lattice::norm_sq(shortest)));
+  const double gh_log = lattice::log_gaussian_heuristic(
+      basis.size(), static_cast<double>(det_proxy));
+  EXPECT_LE(found_log, gh_log + 1.5);  // within e^1.5 of the GH radius
+}
+
+// ---------------------------------------------------------------------------
+// Hint sweeps: worker-count invariance and statistics.
+
+TEST(HintSweep, WorkerCountInvariance) {
+  core::HintSweepConfig cfg;
+  cfg.params = tight_params(96);
+  cfg.counts = {16, 48, 80};
+  cfg.orders = 5;
+  cfg.base_seed = 7;
+  std::vector<core::SweepHint> pool(96);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    pool[i].kind = i % 3 == 0 ? core::SweepHint::Kind::kPerfect
+                 : i % 3 == 1 ? core::SweepHint::Kind::kApproximate
+                              : core::SweepHint::Kind::kPosterior;
+    pool[i].variance = 0.4 + 0.2 * static_cast<double>(i % 4);
+  }
+  cfg.num_workers = 0;
+  const auto lite0 = core::run_hint_sweep(cfg, pool);
+  const auto mat0 = core::run_matrix_hint_sweep(cfg, pool);
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    cfg.num_workers = workers;
+    EXPECT_EQ(core::run_hint_sweep(cfg, pool).betas, lite0.betas)
+        << workers << " workers";
+    EXPECT_EQ(core::run_matrix_hint_sweep(cfg, pool).betas, mat0.betas)
+        << workers << " workers (matrix)";
+  }
+  // Cell statistics are a pure function of the beta grid.
+  ASSERT_EQ(lite0.cells.size(), cfg.counts.size());
+  std::size_t total = 0;
+  for (std::size_t ci = 0; ci < lite0.cells.size(); ++ci) {
+    const auto& cell = lite0.cells[ci];
+    EXPECT_EQ(cell.count, cfg.counts[ci]);
+    EXPECT_EQ(cell.beta.count(), cfg.orders);
+    double lo = 1e300, hi = -1e300;
+    for (std::size_t oi = 0; oi < cfg.orders; ++oi) {
+      lo = std::min(lo, lite0.betas[ci * cfg.orders + oi]);
+      hi = std::max(hi, lite0.betas[ci * cfg.orders + oi]);
+    }
+    EXPECT_EQ(cell.beta.min(), lo);
+    EXPECT_EQ(cell.beta.max(), hi);
+    total += cfg.orders;
+  }
+  EXPECT_EQ(lite0.overall_beta.count(), total);
+}
+
+TEST(HintSweep, MoreHintsLowerTheCurve) {
+  core::HintSweepConfig cfg;
+  cfg.params = tight_params(96);
+  cfg.counts = {0, 16, 48};
+  cfg.orders = 4;
+  std::vector<core::SweepHint> pool(96);  // all perfect
+  cfg.num_workers = 2;
+  const auto r = core::run_hint_sweep(cfg, pool);
+  EXPECT_GE(r.cells[0].beta.mean(), r.cells[1].beta.mean());
+  EXPECT_GT(r.cells[1].beta.mean(), r.cells[2].beta.mean());
+}
+
+TEST(HintSweep, Validation) {
+  core::HintSweepConfig cfg;
+  cfg.params = tight_params(8);
+  cfg.counts = {4};
+  std::vector<core::SweepHint> pool(8);
+  cfg.orders = 0;
+  EXPECT_THROW((void)core::run_hint_sweep(cfg, pool), std::invalid_argument);
+  cfg.orders = 2;
+  cfg.counts = {};
+  EXPECT_THROW((void)core::run_hint_sweep(cfg, pool), std::invalid_argument);
+  cfg.counts = {9};  // exceeds pool
+  EXPECT_THROW((void)core::run_hint_sweep(cfg, pool), std::invalid_argument);
+  cfg.counts = {4};
+  EXPECT_NO_THROW((void)core::run_hint_sweep(cfg, pool));
+}

@@ -349,10 +349,24 @@ TEST(DbddMatrix, RepeatedDirectionIsDegenerate) {
   DbddMatrixEstimator est(small_params());
   std::vector<double> v(96, 0.0);
   v[3] = 1.0;
-  est.integrate_perfect_hint(v);
-  EXPECT_THROW(est.integrate_perfect_hint(v), std::logic_error);
-  // Approximate hint along the same direction is a harmless no-op.
-  EXPECT_NO_THROW(est.integrate_approximate_hint(v, 1.0));
+  EXPECT_EQ(est.integrate_perfect_hint(v), HintOutcome::kApplied);
+  const double logvol = est.logvol();
+  const std::size_t dim = est.dim();
+  // Regression (used to throw std::logic_error): a repeated hint sequence
+  // must be survivable mid-sweep — typed rejection, state untouched.
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(est.integrate_perfect_hint(v), HintOutcome::kDegenerate);
+    EXPECT_EQ(est.logvol(), logvol);
+    EXPECT_EQ(est.dim(), dim);
+  }
+  // An approximate hint along a fully determined direction carries no
+  // information either (its posterior equals the prior) — same rejection.
+  EXPECT_EQ(est.integrate_approximate_hint(v, 1.0), HintOutcome::kDegenerate);
+  EXPECT_EQ(est.rejected_hints(), 4u);
+  // The estimator keeps working after rejections.
+  std::vector<double> w(96, 0.0);
+  w[5] = 1.0;
+  EXPECT_EQ(est.integrate_perfect_hint(w), HintOutcome::kApplied);
 }
 
 TEST(DbddMatrix, Validation) {

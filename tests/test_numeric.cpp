@@ -178,6 +178,45 @@ TEST(Matrix, DotAndNorm) {
   EXPECT_THROW(num::dot({1}, {1, 2}), std::invalid_argument);
 }
 
+TEST(Stats, NeumaierSumTracksLongDoubleOracle) {
+  // 10k heterogeneous log-volume-sized contributions: the compensated sum
+  // must stay within a few ulp of a long double accumulation, where a naive
+  // double sum drifts measurably.
+  num::Xoshiro256StarStar rng(9);
+  num::NeumaierSum sum;
+  long double oracle = 0.0L;
+  double naive = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    // Alternate large and tiny addends so low bits are actually at risk.
+    const double v = (i % 2 == 0) ? rng.uniform_double() * 1e8
+                                  : rng.uniform_double() * 1e-8;
+    sum.add(v);
+    oracle += static_cast<long double>(v);
+    naive += v;
+  }
+  const double compensated_err =
+      std::fabs(static_cast<double>(static_cast<long double>(sum.value()) - oracle));
+  const double naive_err =
+      std::fabs(static_cast<double>(static_cast<long double>(naive) - oracle));
+  // The total is ~2.5e11, so one double ulp is ~3e-5; the compensated sum
+  // must land within a few ulp while the naive sum drifts by dozens.
+  EXPECT_LE(compensated_err, 1e-4);
+  EXPECT_LE(compensated_err, naive_err);
+}
+
+TEST(Stats, NeumaierSumCancellation) {
+  // Classic compensation demo: 1 + 1e100 - 1e100 == 1 only with the
+  // correction term folded back in.
+  num::NeumaierSum sum;
+  sum.add(1.0);
+  sum.add(1e100);
+  sum.add(-1e100);
+  EXPECT_EQ(sum.value(), 1.0);
+  num::NeumaierSum seeded(2.5);
+  seeded.add(0.5);
+  EXPECT_EQ(seeded.value(), 3.0);
+}
+
 TEST(Stats, RunningMatchesBatch) {
   num::Xoshiro256StarStar rng(3);
   std::vector<double> xs;
