@@ -1,0 +1,374 @@
+#include "core/campaign_checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "core/campaign_obs.hpp"
+#include "numeric/binary_io.hpp"
+
+namespace reveal::core {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMarker = 0x52'56'43'50;  // "PCVR"
+constexpr std::uint32_t kCheckpointEndMarker = 0x50'43'56'52;
+constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint64_t kMaxCheckpointCaptures = std::uint64_t{1} << 32;
+constexpr std::uint64_t kMaxHintsPerCapture = std::uint64_t{1} << 20;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return fnv1a(h, bits);
+}
+
+void write_tally(std::ostream& out, const HintTally& t) {
+  num::io::write_pod<std::uint64_t>(out, t.perfect);
+  num::io::write_pod<std::uint64_t>(out, t.approximate);
+  num::io::write_pod<std::uint64_t>(out, t.sign_only);
+  num::io::write_pod<std::uint64_t>(out, t.skipped);
+  num::io::write_pod(out, t.approximate_variance_sum);
+}
+
+HintTally read_tally(std::istream& in) {
+  HintTally t;
+  t.perfect = static_cast<std::size_t>(num::io::read_pod<std::uint64_t>(in));
+  t.approximate = static_cast<std::size_t>(num::io::read_pod<std::uint64_t>(in));
+  t.sign_only = static_cast<std::size_t>(num::io::read_pod<std::uint64_t>(in));
+  t.skipped = static_cast<std::size_t>(num::io::read_pod<std::uint64_t>(in));
+  t.approximate_variance_sum = num::io::read_pod<double>(in);
+  return t;
+}
+
+// HintRecord is written field-wise (kind byte + variance), never as a raw
+// struct: the padding bytes of the in-memory layout are indeterminate and
+// would make checkpoint bytes nondeterministic.
+void write_hint(std::ostream& out, const HintRecord& r) {
+  num::io::write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(r.kind));
+  num::io::write_pod(out, r.variance);
+}
+
+HintRecord read_hint(std::istream& in) {
+  HintRecord r;
+  const auto kind = num::io::read_pod<std::uint8_t>(in);
+  if (kind > static_cast<std::uint8_t>(HintRecord::Kind::kSkipped))
+    throw std::runtime_error("campaign checkpoint: unknown hint kind");
+  r.kind = static_cast<HintRecord::Kind>(kind);
+  r.variance = num::io::read_pod<double>(in);
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t campaign_digest(std::uint64_t base_seed, std::uint64_t total_captures,
+                              const CampaignConfig& config) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  h = fnv1a(h, base_seed);
+  h = fnv1a(h, total_captures);
+  h = fnv1a(h, config.n);
+  h = fnv1a(h, std::uint64_t{(config.patched_firmware ? 1u : 0u) |
+                             (config.shuffled_firmware ? 2u : 0u) |
+                             (config.masked_firmware ? 4u : 0u) |
+                             (config.faults.clip ? 8u : 0u)});
+  h = fnv1a(h, static_cast<std::uint64_t>(config.victim_tier));
+  // Every fault knob shapes every capture, so each one feeds the digest —
+  // a resumed run with any acquisition difference must fail loudly.
+  const power::FaultSpec& f = config.faults;
+  h = fnv1a(h, f.jitter_sigma);
+  h = fnv1a(h, f.dropout_rate);
+  h = fnv1a(h, static_cast<std::uint64_t>(f.glitch_count));
+  h = fnv1a(h, f.glitch_amplitude);
+  h = fnv1a(h, static_cast<std::uint64_t>(f.burst_count));
+  h = fnv1a(h, static_cast<std::uint64_t>(f.burst_length));
+  h = fnv1a(h, f.burst_sigma);
+  h = fnv1a(h, f.drift_sigma);
+  h = fnv1a(h, f.clip_lo);
+  h = fnv1a(h, f.clip_hi);
+  h = fnv1a(h, static_cast<std::uint64_t>(f.trigger_misalign));
+  h = fnv1a(h, f.seed);
+  for (const std::uint64_t m : config.moduli) h = fnv1a(h, m);
+  return h;
+}
+
+void CampaignAccumulator::fold_capture(const RobustCaptureResult& res) {
+  recovered_windows += res.segmentation.segments.size();
+  segmentation_attempts += res.segmentation.attempts;
+  capture_consistency.push_back(res.segmentation.burst_consistency);
+  worst_status = std::max(worst_status, res.segmentation.status);
+  for (const CoefficientGuess& g : res.guesses) {
+    switch (g.quality) {
+      case GuessQuality::kOk: ++ok_guesses; break;
+      case GuessQuality::kLowConfidence: ++low_confidence_guesses; break;
+      case GuessQuality::kAbstained: ++abstained_guesses; break;
+    }
+  }
+}
+
+void CampaignAccumulator::append(CampaignAccumulator&& next) {
+  next_index += next.next_index;
+  for (auto& records : next.hints) hints.push_back(std::move(records));
+  capture_consistency.insert(capture_consistency.end(),
+                             next.capture_consistency.begin(),
+                             next.capture_consistency.end());
+  worker_tally.merge(next.worker_tally);
+  recovered_windows += next.recovered_windows;
+  segmentation_attempts += next.segmentation_attempts;
+  worst_status = std::max(worst_status, next.worst_status);
+  ok_guesses += next.ok_guesses;
+  low_confidence_guesses += next.low_confidence_guesses;
+  abstained_guesses += next.abstained_guesses;
+  registry.merge(next.registry);
+  confusion.merge(next.confusion);
+}
+
+void CampaignAccumulator::save(std::ostream& out) const {
+  num::io::write_pod<std::uint32_t>(out, kCheckpointMarker);
+  num::io::write_pod<std::uint32_t>(out, kCheckpointVersion);
+  num::io::write_pod<std::uint64_t>(out, next_index);
+  num::io::write_pod<std::uint64_t>(out, recovered_windows);
+  num::io::write_pod<std::uint64_t>(out, segmentation_attempts);
+  num::io::write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(worst_status));
+  num::io::write_vec(out, capture_consistency);
+  num::io::write_pod<std::uint64_t>(out, ok_guesses);
+  num::io::write_pod<std::uint64_t>(out, low_confidence_guesses);
+  num::io::write_pod<std::uint64_t>(out, abstained_guesses);
+  write_tally(out, worker_tally);
+  num::io::write_pod<std::uint64_t>(out, hints.size());
+  for (const auto& records : hints) {
+    num::io::write_pod<std::uint64_t>(out, records.size());
+    for (const HintRecord& r : records) write_hint(out, r);
+  }
+  registry.save(out);
+  confusion.save(out);
+  num::io::write_pod<std::uint32_t>(out, kCheckpointEndMarker);
+}
+
+CampaignAccumulator CampaignAccumulator::load(std::istream& in) {
+  num::io::expect_marker(in, kCheckpointMarker, "CampaignAccumulator");
+  if (num::io::read_pod<std::uint32_t>(in) != kCheckpointVersion)
+    throw std::runtime_error("campaign checkpoint: unsupported version");
+  CampaignAccumulator acc;
+  acc.next_index = num::io::read_pod<std::uint64_t>(in);
+  acc.recovered_windows = num::io::read_pod<std::uint64_t>(in);
+  acc.segmentation_attempts = num::io::read_pod<std::uint64_t>(in);
+  const auto status = num::io::read_pod<std::uint8_t>(in);
+  if (status > static_cast<std::uint8_t>(sca::SegmentationStatus::kFailed))
+    throw std::runtime_error("campaign checkpoint: unknown segmentation status");
+  acc.worst_status = static_cast<sca::SegmentationStatus>(status);
+  acc.capture_consistency = num::io::read_vec<double>(in, kMaxCheckpointCaptures);
+  acc.ok_guesses = num::io::read_pod<std::uint64_t>(in);
+  acc.low_confidence_guesses = num::io::read_pod<std::uint64_t>(in);
+  acc.abstained_guesses = num::io::read_pod<std::uint64_t>(in);
+  acc.worker_tally = read_tally(in);
+  const auto captures = num::io::read_pod<std::uint64_t>(in);
+  if (captures > kMaxCheckpointCaptures)
+    throw std::runtime_error("campaign checkpoint: implausible capture count");
+  if (captures != acc.next_index || acc.capture_consistency.size() != acc.next_index)
+    throw std::runtime_error("campaign checkpoint: cursor/hint-count mismatch");
+  acc.hints.reserve(static_cast<std::size_t>(captures));
+  for (std::uint64_t i = 0; i < captures; ++i) {
+    const auto count = num::io::read_pod<std::uint64_t>(in);
+    if (count > kMaxHintsPerCapture)
+      throw std::runtime_error("campaign checkpoint: implausible hint count");
+    std::vector<HintRecord> records;
+    records.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t r = 0; r < count; ++r) records.push_back(read_hint(in));
+    acc.hints.push_back(std::move(records));
+  }
+  acc.registry = obs::Registry::load(in);
+  acc.confusion = sca::ConfusionMatrix::load(in);
+  num::io::expect_marker(in, kCheckpointEndMarker, "CampaignAccumulator end");
+  return acc;
+}
+
+void accumulate_campaign_range(WorkerPool& pool, const RevealAttack& attack,
+                               const CampaignConfig& config, std::uint64_t base_seed,
+                               std::uint64_t begin, std::uint64_t end,
+                               const HintPolicy& policy, CampaignAccumulator& acc) {
+  if (end < begin)
+    throw std::invalid_argument("accumulate_campaign_range: inverted range");
+  const std::size_t count = static_cast<std::size_t>(end - begin);
+  if (count == 0) return;
+  std::vector<std::uint64_t> seeds(count);
+  for (std::size_t i = 0; i < count; ++i)
+    seeds[i] = stream_seed(base_seed, static_cast<std::size_t>(begin) + i);
+
+  const std::size_t worker_slots = std::max<std::size_t>(pool.num_workers(), 1);
+  std::vector<RobustCaptureResult> captures(count);
+  std::vector<std::vector<HintRecord>> batch_hints(count);
+  std::vector<HintTally> tallies(worker_slots);
+  std::vector<detail::WorkerObs> worker_obs(worker_slots);
+  // Fresh replicas per range: their fault stats then cover exactly these
+  // captures, so the fold below is resume- and shard-correct (a replica
+  // reused across ranges would double-count on every fold).
+  detail::CampaignReplicas replicas(config, pool.num_workers());
+  detail::run_capture_stage<true>(pool, attack, config, seeds, policy, replicas,
+                                  captures, batch_hints, tallies, &worker_obs,
+                                  static_cast<std::size_t>(begin));
+
+  // Ordered folds — capture order for the report partials and hints,
+  // worker order for tallies and observability. The tracer is never
+  // merged: spans are wall-clock and would break resume determinism.
+  for (std::size_t i = 0; i < count; ++i) {
+    acc.fold_capture(captures[i]);
+    acc.hints.push_back(std::move(batch_hints[i]));
+  }
+  for (const HintTally& t : tallies) acc.worker_tally.merge(t);
+  for (const detail::WorkerObs& o : worker_obs) {
+    acc.registry.merge(o.registry);
+    acc.confusion.merge(o.confusion);
+  }
+  const power::FaultStats faults = replicas.merged_fault_stats();
+  obs::Registry& reg = acc.registry;
+  reg.add(reg.counter("faults.captures"), faults.captures);
+  reg.add(reg.counter("faults.dropped_samples"), faults.dropped_samples);
+  reg.add(reg.counter("faults.glitch_samples"), faults.glitch_samples);
+  reg.add(reg.counter("faults.burst_windows"), faults.burst_windows);
+  reg.add(reg.counter("faults.drifted_captures"), faults.drifted_captures);
+  reg.add(reg.counter("faults.clipped_samples"), faults.clipped_samples);
+  reg.add(reg.counter("faults.misaligned_captures"), faults.misaligned_captures);
+  reg.add(reg.counter("faults.warped_captures"), faults.warped_captures);
+  acc.next_index += count;
+}
+
+CampaignFinalization finalize_campaign(const CampaignAccumulator& acc,
+                                       std::size_t windows_per_capture,
+                                       const lwe::DbddParams& params) {
+  CampaignFinalization fin;
+  HintTally recount;
+  for (const auto& records : acc.hints) {
+    for (const HintRecord& r : records) recount.add(r);
+  }
+  if (recount.perfect != acc.worker_tally.perfect ||
+      recount.approximate != acc.worker_tally.approximate ||
+      recount.sign_only != acc.worker_tally.sign_only ||
+      recount.skipped != acc.worker_tally.skipped) {
+    throw std::logic_error(
+        "finalize_campaign: accumulated tallies diverge from the ordered recount "
+        "(lost update in shared accumulation)");
+  }
+  fin.hint_totals = recount.summary();
+
+  lwe::DbddEstimator estimator(params);
+  for (const auto& records : acc.hints) {
+    for (const HintRecord& r : records) apply_hint(estimator, r);
+  }
+  const lwe::SecurityEstimate estimate = estimator.estimate();
+
+  // Capture-order float sum: the one reduction order that exists for every
+  // batch size, worker count, and shard partition.
+  double consistency_sum = 0.0;
+  for (const double c : acc.capture_consistency) consistency_sum += c;
+
+  sca::RecoveryReport& rep = fin.report;
+  const std::uint64_t total = acc.next_index;
+  rep.expected_windows = static_cast<std::size_t>(total) * windows_per_capture;
+  rep.recovered_windows = acc.recovered_windows;
+  rep.segmentation_status = acc.worst_status;
+  rep.segmentation_attempts = acc.segmentation_attempts;
+  if (total > 0) rep.burst_consistency = consistency_sum / static_cast<double>(total);
+  rep.ok_guesses = acc.ok_guesses;
+  rep.low_confidence_guesses = acc.low_confidence_guesses;
+  rep.abstained_guesses = acc.abstained_guesses;
+  rep.perfect_hints = fin.hint_totals.perfect;
+  rep.approximate_hints = fin.hint_totals.approximate;
+  rep.sign_only_hints = fin.hint_totals.sign_only;
+  rep.dropped_hints = fin.hint_totals.skipped;
+  rep.bikz = estimate.beta;
+  rep.bits = estimate.bits;
+  return fin;
+}
+
+namespace {
+
+/// Atomic checkpoint write: the old checkpoint stays intact until the new
+/// bytes are fully on disk (rename is atomic within a filesystem), so a
+/// kill mid-save loses at most one batch of progress.
+void save_checkpoint(const std::string& path, std::uint64_t digest,
+                     std::uint64_t total, const CampaignAccumulator& acc) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("campaign checkpoint: cannot write " + tmp);
+    num::io::write_pod<std::uint64_t>(out, digest);
+    num::io::write_pod<std::uint64_t>(out, total);
+    acc.save(out);
+    out.flush();
+    if (!out) throw std::runtime_error("campaign checkpoint: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("campaign checkpoint: cannot rename " + tmp);
+}
+
+/// Loads and validates an existing checkpoint; false when none exists.
+bool load_checkpoint(const std::string& path, std::uint64_t digest,
+                     std::uint64_t total, CampaignAccumulator& acc) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  if (num::io::read_pod<std::uint64_t>(in) != digest)
+    throw std::runtime_error("campaign checkpoint: schedule digest mismatch in " + path);
+  if (num::io::read_pod<std::uint64_t>(in) != total)
+    throw std::runtime_error("campaign checkpoint: capture count mismatch in " + path);
+  acc = CampaignAccumulator::load(in);
+  if (acc.next_index > total)
+    throw std::runtime_error("campaign checkpoint: cursor past schedule in " + path);
+  return true;
+}
+
+}  // namespace
+
+CheckpointedCampaignResult run_recovery_campaign_checkpointed(
+    CampaignRunner& runner, const RevealAttack& attack, const CampaignConfig& config,
+    std::uint64_t base_seed, std::size_t total_captures, const HintPolicy& policy,
+    const lwe::DbddParams& params, const CheckpointOptions& options) {
+  if (options.path.empty())
+    throw std::invalid_argument("run_recovery_campaign_checkpointed: empty path");
+  if (options.batch_size == 0)
+    throw std::invalid_argument("run_recovery_campaign_checkpointed: zero batch size");
+
+  const std::uint64_t digest = campaign_digest(base_seed, total_captures, config);
+  CheckpointedCampaignResult result;
+  CampaignAccumulator acc;
+  result.resumed = load_checkpoint(options.path, digest, total_captures, acc);
+
+  WorkerPool& pool = runner.pool();
+  std::size_t batches = 0;
+  while (acc.next_index < total_captures &&
+         (options.max_batches_per_call == 0 || batches < options.max_batches_per_call)) {
+    const std::uint64_t begin = acc.next_index;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + options.batch_size, total_captures);
+    accumulate_campaign_range(pool, attack, config, base_seed, begin, end, policy, acc);
+    result.processed_this_call += end - begin;
+    save_checkpoint(options.path, digest, total_captures, acc);
+    ++batches;
+  }
+
+  result.next_index = acc.next_index;
+  if (acc.next_index < total_captures) return result;  // interrupted run
+
+  CampaignFinalization fin = finalize_campaign(acc, config.n, params);
+  result.report = fin.report;
+  result.hint_totals = fin.hint_totals;
+  result.hints = std::move(acc.hints);
+  result.diagnostics.registry = std::move(acc.registry);
+  result.diagnostics.confusion = std::move(acc.confusion);
+  result.complete = true;
+  if (!options.keep_checkpoint) std::remove(options.path.c_str());
+  return result;
+}
+
+}  // namespace reveal::core

@@ -1,0 +1,152 @@
+#pragma once
+// Checkpoint/resume for recovery campaigns (DESIGN.md §8).
+//
+// run_recovery_campaign_checkpointed processes the seed schedule
+// stream_seed(base_seed, 0..total) in batches, persisting a
+// CampaignAccumulator snapshot after every batch with an atomic
+// write-to-temp + rename. A killed campaign restarts from the last
+// completed batch and finishes with a *byte-identical* final
+// RecoveryReport, hint set, and diagnostics JSON — identical both to an
+// uninterrupted checkpointed run and to plain
+// CampaignRunner::run_recovery_campaign over the same schedule.
+//
+// Why this works (the determinism ledger):
+//   * Every per-capture output is a pure function of (config, seed); batch
+//     boundaries only group work, they never reorder it.
+//   * All floating-point accumulations that feed the report (hint-variance
+//     recount, burst-consistency sum, estimator integration) replay in
+//     capture order on the calling thread — the one order that exists for
+//     every batch size and worker count.
+//   * Integer counters (registry, confusion, tallies) are associative, and
+//     histogram value sums accumulate through obs::ExactSum, whose
+//     serialized normalized form makes save/load exact. Hence the final
+//     diagnostics are batch-partition invariant too.
+//   * Wall-clock spans are the one non-deterministic observation, so the
+//     checkpointed driver never merges worker tracers: the resulting
+//     diagnostics carry an empty stages section by construction.
+//
+// The accumulator and its binary snapshot are exposed because the
+// multi-process shard driver (core/shard_driver.hpp) serializes the same
+// state per shard and folds the partials in shard order.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/campaign_runner.hpp"
+
+namespace reveal::core {
+
+/// Running partial state of a batched campaign: everything needed to
+/// continue from capture `next_index` and later finalize a report that is
+/// byte-identical to an unbroken run.
+struct CampaignAccumulator {
+  std::uint64_t next_index = 0;  ///< captures [0, next_index) are folded in
+
+  /// Routed hint records per capture, in capture order. Kept verbatim
+  /// because estimator integration is floating-point order-sensitive: it
+  /// replays the full sequence once, at finalize.
+  std::vector<std::vector<HintRecord>> hints;
+
+  /// Per-worker tallies merged in worker order (integer cross-check against
+  /// the finalize-time recount; the float sum is taken from the recount).
+  HintTally worker_tally;
+
+  // Report partials, accumulated in capture order. The burst-consistency
+  // values stay per-capture (not pre-summed): finalize sums them in capture
+  // order, so the one float reduction in the report is identical for every
+  // batch size *and* every shard partition of the schedule.
+  std::uint64_t recovered_windows = 0;
+  std::uint64_t segmentation_attempts = 0;
+  sca::SegmentationStatus worst_status = sca::SegmentationStatus::kOk;
+  std::vector<double> capture_consistency;  ///< one per capture, capture order
+  std::uint64_t ok_guesses = 0;
+  std::uint64_t low_confidence_guesses = 0;
+  std::uint64_t abstained_guesses = 0;
+
+  // Deterministic observability partials (no spans — see header comment).
+  obs::Registry registry;
+  sca::ConfusionMatrix confusion;
+
+  /// Folds one capture's report-feeding outcome (call in capture order).
+  void fold_capture(const RobustCaptureResult& res);
+
+  /// Concatenates another accumulator covering the captures immediately
+  /// after this one (fixed shard-order merge): hints and consistency values
+  /// append, integer partials add, statuses max, observability merges.
+  void append(CampaignAccumulator&& next);
+
+  /// Bounds-checked binary snapshot (numeric/binary_io framing).
+  void save(std::ostream& out) const;
+  [[nodiscard]] static CampaignAccumulator load(std::istream& in);
+};
+
+/// Runs the capture stage over schedule indices [begin, end) of
+/// {stream_seed(base_seed, i)} and folds every output into `acc` in capture
+/// order (diagnostics without spans). Shared by the checkpointed driver
+/// (one call per persisted batch) and the shard driver (one call per shard
+/// range). Increments acc.next_index by end - begin.
+void accumulate_campaign_range(WorkerPool& pool, const RevealAttack& attack,
+                               const CampaignConfig& config, std::uint64_t base_seed,
+                               std::uint64_t begin, std::uint64_t end,
+                               const HintPolicy& policy, CampaignAccumulator& acc);
+
+struct CampaignFinalization {
+  sca::RecoveryReport report;
+  HintSummary hint_totals;
+};
+
+/// The deterministic campaign tail over a complete accumulator: recounts
+/// the stored hints in capture order (cross-checking the merged worker
+/// tallies), replays estimator integration in capture order, and assembles
+/// the RecoveryReport — byte-identical to run_recovery_campaign's tail for
+/// the same capture outcomes. `windows_per_capture` is config.n.
+[[nodiscard]] CampaignFinalization finalize_campaign(const CampaignAccumulator& acc,
+                                                     std::size_t windows_per_capture,
+                                                     const lwe::DbddParams& params);
+
+struct CheckpointOptions {
+  std::string path;  ///< checkpoint file (written atomically via path + ".tmp")
+  /// Captures per batch. The final outputs are batch-size invariant; the
+  /// batch size only trades checkpoint granularity against save overhead.
+  std::size_t batch_size = 64;
+  /// Stop after this many batches in one call (0 = run to completion).
+  /// The test suite uses this to simulate a kill at a batch boundary; an
+  /// interrupted call returns complete == false with the checkpoint saved.
+  std::size_t max_batches_per_call = 0;
+  /// Keep the checkpoint file after successful completion.
+  bool keep_checkpoint = false;
+};
+
+struct CheckpointedCampaignResult {
+  bool complete = false;  ///< false when max_batches_per_call stopped the run
+  bool resumed = false;   ///< true when an existing checkpoint was loaded
+  std::uint64_t processed_this_call = 0;  ///< captures executed in this call
+  std::uint64_t next_index = 0;           ///< schedule cursor after this call
+
+  // Valid only when complete:
+  sca::RecoveryReport report;
+  HintSummary hint_totals;
+  std::vector<std::vector<HintRecord>> hints;  ///< per capture, capture order
+  CampaignDiagnostics diagnostics;  ///< registry + confusion; tracer empty
+};
+
+/// Batched, checkpointed counterpart of CampaignRunner::run_recovery_campaign
+/// over the schedule {stream_seed(base_seed, i) : i < total_captures}.
+/// Resumes from `options.path` when it exists (throws std::runtime_error if
+/// that checkpoint belongs to a different schedule); deletes the file after
+/// completion unless options.keep_checkpoint.
+[[nodiscard]] CheckpointedCampaignResult run_recovery_campaign_checkpointed(
+    CampaignRunner& runner, const RevealAttack& attack, const CampaignConfig& config,
+    std::uint64_t base_seed, std::size_t total_captures, const HintPolicy& policy,
+    const lwe::DbddParams& params, const CheckpointOptions& options);
+
+/// The schedule digest stored in checkpoint files: mixes base_seed,
+/// total_captures and the capture-shaping config fields so a stale file
+/// from a different campaign fails loudly instead of corrupting a resume.
+[[nodiscard]] std::uint64_t campaign_digest(std::uint64_t base_seed,
+                                            std::uint64_t total_captures,
+                                            const CampaignConfig& config);
+
+}  // namespace reveal::core

@@ -1,0 +1,97 @@
+#pragma once
+// On-disk layout of the mmap trace corpus (DESIGN.md §8).
+//
+// A corpus file is a 96-byte file header followed by a sequence of chunks.
+// All offsets and record sizes are multiples of 8, so a memory-mapped file
+// serves sample data as naturally aligned doubles — reads are zero-copy
+// views into the mapping. The format is little-endian (the only hosts this
+// toolkit targets); every multi-byte field is read/written through memcpy,
+// never by dereferencing the mapping at a struct type.
+//
+//   FileHeader   { magic "RVLCORP\x01", version, flags, CommitRecord[2] }
+//   Chunk        { ChunkHeader, u64 offsets[trace_count], records... }
+//   TraceRecord  { i32 label, u32 reserved, u64 sample_count, f64 samples[] }
+//
+// Crash safety: chunks are append-only and a chunk becomes visible only
+// when one of the two commit slots is rewritten to cover it. The slots
+// alternate (seq, CRC-protected); a torn slot write invalidates its CRC and
+// readers fall back to the other slot — i.e. to the corpus as of the
+// previous commit. A torn chunk write sits past `committed_bytes` and is
+// invisible to readers; the appender truncates it away on reopen.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace reveal::corpus {
+
+inline constexpr char kFileMagic[8] = {'R', 'V', 'L', 'C', 'O', 'R', 'P', '\x01'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kChunkMagic = 0x4B'43'56'52;  // "RVCK"
+
+/// Plausibility caps mirroring seal/serialization's kMaxElements: corrupt
+/// headers must fail cleanly, never size an allocation or a scan.
+inline constexpr std::uint64_t kMaxTracesPerChunk = std::uint64_t{1} << 24;
+inline constexpr std::uint64_t kMaxSamplesPerTrace = std::uint64_t{1} << 28;
+inline constexpr std::uint64_t kMaxChunks = std::uint64_t{1} << 32;
+
+/// One commit-pointer slot. The pair of slots at fixed offsets in the file
+/// header is the only mutable region of a corpus file.
+struct CommitRecord {
+  std::uint64_t seq = 0;              ///< monotonically increasing commit number
+  std::uint64_t committed_bytes = 0;  ///< file prefix covered by this commit
+  std::uint64_t chunk_count = 0;
+  std::uint64_t trace_count = 0;
+  std::uint32_t crc = 0;  ///< CRC-32 of the 32 bytes above
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(CommitRecord) == 40);
+
+struct FileHeader {
+  char magic[8];
+  std::uint32_t version = kFormatVersion;
+  std::uint32_t flags = 0;
+  CommitRecord slots[2];
+};
+static_assert(sizeof(FileHeader) == 96);
+
+inline constexpr std::uint64_t kFileHeaderBytes = sizeof(FileHeader);
+
+struct ChunkHeader {
+  std::uint32_t magic = kChunkMagic;
+  std::uint32_t trace_count = 0;
+  std::uint64_t payload_bytes = 0;       ///< offset table + records
+  std::uint64_t first_trace_index = 0;   ///< global index of the first record
+  std::uint64_t reserved0 = 0;           ///< pads the header to 48 bytes so the
+  std::uint64_t reserved1 = 0;           ///< payload stays 8-aligned
+  std::uint32_t payload_crc = 0;  ///< CRC-32 of the payload_bytes after this header
+  std::uint32_t header_crc = 0;   ///< CRC-32 of the 44 bytes above
+};
+static_assert(sizeof(ChunkHeader) == 48);
+
+inline constexpr std::uint64_t kChunkHeaderBytes = sizeof(ChunkHeader);
+
+/// Per-trace record header inside a chunk's record area.
+struct TraceRecordHeader {
+  std::int32_t label = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t sample_count = 0;
+};
+static_assert(sizeof(TraceRecordHeader) == 16);
+
+inline constexpr std::uint64_t kTraceRecordHeaderBytes = sizeof(TraceRecordHeader);
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the checksum guarding chunk
+/// headers, chunk payloads and commit slots.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t bytes,
+                                  std::uint32_t seed = 0) noexcept;
+
+[[nodiscard]] inline std::uint32_t commit_record_crc(const CommitRecord& rec) noexcept {
+  return crc32(&rec, offsetof(CommitRecord, crc));
+}
+
+[[nodiscard]] inline std::uint32_t chunk_header_crc(const ChunkHeader& hdr) noexcept {
+  return crc32(&hdr, offsetof(ChunkHeader, header_crc));
+}
+
+}  // namespace reveal::corpus

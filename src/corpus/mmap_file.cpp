@@ -1,0 +1,67 @@
+#include "corpus/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace reveal::corpus {
+
+namespace {
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("MmapFile: " + what + " " + path + ": " +
+                           std::strerror(errno));
+}
+}  // namespace
+
+MmapFile::MmapFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail("cannot open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail("cannot stat", path);
+  }
+  const auto bytes = static_cast<std::size_t>(st.st_size);
+  if (bytes > 0) {
+    void* map = ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      ::close(fd);
+      fail("cannot mmap", path);
+    }
+    data_ = static_cast<const std::uint8_t*>(map);
+    size_ = bytes;
+  }
+  // The mapping keeps the pages alive; the descriptor is not needed past
+  // mmap and holding it would only leak fds across long campaign runs.
+  ::close(fd);
+}
+
+MmapFile::~MmapFile() { reset(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MmapFile::reset() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace reveal::corpus

@@ -1,0 +1,40 @@
+#pragma once
+// Read-only memory-mapped file (RAII over POSIX open/mmap).
+//
+// The corpus reader serves zero-copy TraceViews straight out of the
+// mapping; the wrapper owns the fd and mapping lifetime and nothing else.
+// Mapping an empty file yields a valid object with size() == 0 and a null
+// base pointer (an empty corpus is header-only and never empty in
+// practice, but the degenerate case must not UB).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace reveal::corpus {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  /// Maps `path` read-only. Throws std::runtime_error when the file cannot
+  /// be opened, stat'ed, or mapped.
+  explicit MmapFile(const std::string& path);
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool mapped() const noexcept { return data_ != nullptr; }
+
+ private:
+  void reset() noexcept;
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace reveal::corpus

@@ -1,0 +1,340 @@
+#include "corpus/trace_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace reveal::corpus {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw std::runtime_error("corpus: " + what); }
+
+[[noreturn]] void fail_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error("corpus: " + what + " " + path + ": " + std::strerror(errno));
+}
+
+/// The live commit record: the CRC-valid slot with the highest seq. A torn
+/// slot write invalidates that slot's CRC, so this always lands on the
+/// last *completed* commit. Throws when neither slot validates.
+CommitRecord select_commit(const FileHeader& header, const std::string& path) {
+  const CommitRecord* live = nullptr;
+  for (const CommitRecord& slot : header.slots) {
+    if (slot.seq == 0) continue;
+    if (commit_record_crc(slot) != slot.crc) continue;
+    if (live == nullptr || slot.seq > live->seq) live = &slot;
+  }
+  if (live == nullptr) fail("no valid commit record in " + path);
+  if (live->committed_bytes < kFileHeaderBytes || live->committed_bytes % 8 != 0)
+    fail("implausible commit pointer in " + path);
+  if (live->chunk_count > kMaxChunks) fail("implausible chunk count in " + path);
+  return *live;
+}
+
+FileHeader parse_file_header(const std::uint8_t* data, std::size_t size,
+                             const std::string& path) {
+  if (size < kFileHeaderBytes) fail("file too small for header: " + path);
+  FileHeader header;
+  std::memcpy(&header, data, sizeof(header));
+  if (std::memcmp(header.magic, kFileMagic, sizeof(kFileMagic)) != 0)
+    fail("bad magic in " + path);
+  if (header.version != kFormatVersion) fail("unsupported version in " + path);
+  return header;
+}
+
+}  // namespace
+
+// --- CorpusWriter ----------------------------------------------------------
+
+CorpusWriter::CorpusWriter(int fd, std::string path, WriterOptions options,
+                           CommitRecord committed)
+    : fd_(fd), path_(std::move(path)), options_(options), committed_(committed) {
+  if (options_.traces_per_chunk == 0) options_.traces_per_chunk = 1;
+}
+
+CorpusWriter CorpusWriter::create(const std::string& path, WriterOptions options) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail_errno("cannot create", path);
+
+  FileHeader header{};
+  std::memcpy(header.magic, kFileMagic, sizeof(kFileMagic));
+  header.version = kFormatVersion;
+  CommitRecord initial{};
+  initial.seq = 1;
+  initial.committed_bytes = kFileHeaderBytes;
+  initial.crc = commit_record_crc(initial);
+  header.slots[initial.seq % 2] = initial;
+
+  CorpusWriter writer(fd, path, options, initial);
+  writer.write_at(0, &header, sizeof(header));
+  return writer;
+}
+
+CorpusWriter CorpusWriter::append(const std::string& path, WriterOptions options) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) fail_errno("cannot open for append", path);
+
+  std::uint8_t raw[kFileHeaderBytes];
+  const ssize_t got = ::pread(fd, raw, sizeof(raw), 0);
+  if (got != static_cast<ssize_t>(sizeof(raw))) {
+    ::close(fd);
+    fail("file too small for header: " + path);
+  }
+  CommitRecord committed{};
+  try {
+    const FileHeader header = parse_file_header(raw, sizeof(raw), path);
+    committed = select_commit(header, path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0 || static_cast<std::uint64_t>(end) < committed.committed_bytes) {
+    ::close(fd);
+    fail("commit pointer past end of file: " + path);
+  }
+  // Drop any torn tail from an interrupted append: bytes past the commit
+  // pointer were never visible to readers and are about to be overwritten.
+  if (::ftruncate(fd, static_cast<off_t>(committed.committed_bytes)) != 0) {
+    ::close(fd);
+    fail_errno("cannot truncate torn tail of", path);
+  }
+  return CorpusWriter(fd, path, options, committed);
+}
+
+CorpusWriter::CorpusWriter(CorpusWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      options_(other.options_),
+      committed_(other.committed_),
+      records_(std::move(other.records_)),
+      offsets_(std::move(other.offsets_)),
+      buffered_count_(std::exchange(other.buffered_count_, 0)) {}
+
+CorpusWriter& CorpusWriter::operator=(CorpusWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    committed_ = other.committed_;
+    records_ = std::move(other.records_);
+    offsets_ = std::move(other.offsets_);
+    buffered_count_ = std::exchange(other.buffered_count_, 0);
+  }
+  return *this;
+}
+
+CorpusWriter::~CorpusWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; an explicit close() observes errors.
+  }
+}
+
+void CorpusWriter::write_at(std::uint64_t offset, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (bytes > 0) {
+    const ssize_t wrote = ::pwrite(fd_, p, bytes, static_cast<off_t>(offset));
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("write failed for", path_);
+    }
+    p += wrote;
+    offset += static_cast<std::uint64_t>(wrote);
+    bytes -= static_cast<std::size_t>(wrote);
+  }
+}
+
+void CorpusWriter::add(std::int32_t label, std::span<const double> samples) {
+  if (fd_ < 0) fail("writer is closed: " + path_);
+  if (samples.size() > kMaxSamplesPerTrace) fail("trace exceeds sample cap");
+  offsets_.push_back(records_.size());
+  TraceRecordHeader rec{};
+  rec.label = label;
+  rec.sample_count = samples.size();
+  const std::size_t base = records_.size();
+  records_.resize(base + kTraceRecordHeaderBytes + samples.size_bytes());
+  std::memcpy(records_.data() + base, &rec, sizeof(rec));
+  if (!samples.empty()) {  // empty spans carry a null data()
+    std::memcpy(records_.data() + base + kTraceRecordHeaderBytes, samples.data(),
+                samples.size_bytes());
+  }
+  ++buffered_count_;
+  if (buffered_count_ >= options_.traces_per_chunk ||
+      records_.size() + 8 * buffered_count_ >= options_.chunk_payload_budget) {
+    commit();
+  }
+}
+
+void CorpusWriter::commit() {
+  if (fd_ < 0) fail("writer is closed: " + path_);
+  if (buffered_count_ == 0) return;
+
+  const std::uint64_t table_bytes = std::uint64_t{8} * buffered_count_;
+  const std::uint64_t payload_bytes = table_bytes + records_.size();
+
+  ChunkHeader hdr{};
+  hdr.trace_count = buffered_count_;
+  hdr.payload_bytes = payload_bytes;
+  hdr.first_trace_index = committed_.trace_count;
+
+  // Offsets are relative to the payload start (the table itself comes
+  // first, so every record offset is >= table_bytes).
+  std::vector<std::uint64_t> table(offsets_.size());
+  for (std::size_t i = 0; i < offsets_.size(); ++i) table[i] = table_bytes + offsets_[i];
+
+  hdr.payload_crc = crc32(records_.data(), records_.size(),
+                          crc32(table.data(), table.size() * sizeof(std::uint64_t)));
+  hdr.header_crc = chunk_header_crc(hdr);
+
+  // Append the chunk past the committed prefix; readers cannot see it yet.
+  const std::uint64_t chunk_at = committed_.committed_bytes;
+  write_at(chunk_at, &hdr, sizeof(hdr));
+  write_at(chunk_at + kChunkHeaderBytes, table.data(), table.size() * sizeof(std::uint64_t));
+  write_at(chunk_at + kChunkHeaderBytes + table_bytes, records_.data(), records_.size());
+  if (options_.fsync_commits && ::fdatasync(fd_) != 0) fail_errno("fsync failed for", path_);
+
+  // Publish: rewrite the *other* commit slot. A kill between the chunk
+  // write and here leaves the old commit live (chunk invisible); a torn
+  // slot write fails its CRC and readers fall back to the old slot.
+  CommitRecord next{};
+  next.seq = committed_.seq + 1;
+  next.committed_bytes = chunk_at + kChunkHeaderBytes + payload_bytes;
+  next.chunk_count = committed_.chunk_count + 1;
+  next.trace_count = committed_.trace_count + buffered_count_;
+  next.crc = commit_record_crc(next);
+  const std::uint64_t slot_offset =
+      offsetof(FileHeader, slots) + (next.seq % 2) * sizeof(CommitRecord);
+  write_at(slot_offset, &next, sizeof(next));
+  if (options_.fsync_commits && ::fdatasync(fd_) != 0) fail_errno("fsync failed for", path_);
+
+  committed_ = next;
+  records_.clear();
+  offsets_.clear();
+  buffered_count_ = 0;
+}
+
+void CorpusWriter::close() {
+  if (fd_ < 0) return;
+  commit();
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) fail_errno("close failed for", path_);
+}
+
+// --- CorpusReader ----------------------------------------------------------
+
+CorpusReader::CorpusReader(const std::string& path, ReaderOptions options)
+    : map_(path) {
+  const FileHeader header = parse_file_header(map_.data(), map_.size(), path);
+  const CommitRecord commit = select_commit(header, path);
+  if (commit.committed_bytes > map_.size())
+    fail("commit pointer past end of file: " + path);
+  committed_bytes_ = commit.committed_bytes;
+  chunk_count_ = commit.chunk_count;
+  // Each chunk costs >= 48 header bytes and each trace >= 8 (offset table)
+  // + 16 (record header) payload bytes, so the committed prefix bounds both
+  // counts — a corrupt record cannot size the reserve below.
+  const std::uint64_t body_bytes = committed_bytes_ - kFileHeaderBytes;
+  if (commit.chunk_count > body_bytes / kChunkHeaderBytes)
+    fail("implausible chunk count in " + path);
+  if (commit.trace_count > body_bytes / (8 + kTraceRecordHeaderBytes))
+    fail("implausible trace count in " + path);
+  records_.reserve(static_cast<std::size_t>(commit.trace_count));
+
+  // Structural walk over the committed chunks. Every offset and count is
+  // validated against the committed prefix before it is dereferenced.
+  std::uint64_t off = kFileHeaderBytes;
+  std::uint64_t traces_seen = 0;
+  for (std::uint64_t c = 0; c < commit.chunk_count; ++c) {
+    if (off + kChunkHeaderBytes > committed_bytes_)
+      fail("chunk header past commit pointer in " + path);
+    ChunkHeader hdr;
+    std::memcpy(&hdr, map_.data() + off, sizeof(hdr));
+    if (hdr.magic != kChunkMagic) fail("bad chunk magic in " + path);
+    if (chunk_header_crc(hdr) != hdr.header_crc)
+      fail("chunk header CRC mismatch in " + path);
+    if (hdr.trace_count == 0 || hdr.trace_count > kMaxTracesPerChunk)
+      fail("implausible chunk trace count in " + path);
+    if (hdr.first_trace_index != traces_seen)
+      fail("chunk trace indexing inconsistent in " + path);
+    const std::uint64_t payload_at = off + kChunkHeaderBytes;
+    if (hdr.payload_bytes > committed_bytes_ - payload_at)
+      fail("chunk payload past commit pointer in " + path);
+    const std::uint64_t table_bytes = std::uint64_t{8} * hdr.trace_count;
+    if (table_bytes > hdr.payload_bytes) fail("chunk offset table truncated in " + path);
+    if (options.verify_payload_crc &&
+        crc32(map_.data() + payload_at, static_cast<std::size_t>(hdr.payload_bytes)) !=
+            hdr.payload_crc) {
+      fail("chunk payload CRC mismatch in " + path);
+    }
+    const std::uint8_t* payload = map_.data() + payload_at;
+    for (std::uint32_t t = 0; t < hdr.trace_count; ++t) {
+      std::uint64_t rel;
+      std::memcpy(&rel, payload + std::uint64_t{8} * t, sizeof(rel));
+      if (rel < table_bytes || rel % 8 != 0 ||
+          rel + kTraceRecordHeaderBytes > hdr.payload_bytes)
+        fail("trace record offset out of bounds in " + path);
+      TraceRecordHeader rec;
+      std::memcpy(&rec, payload + rel, sizeof(rec));
+      if (rec.sample_count > kMaxSamplesPerTrace ||
+          rec.sample_count * sizeof(double) >
+              hdr.payload_bytes - rel - kTraceRecordHeaderBytes)
+        fail("trace record overruns chunk in " + path);
+      records_.push_back(payload + rel);
+    }
+    traces_seen += hdr.trace_count;
+    off = payload_at + hdr.payload_bytes;
+  }
+  if (off != committed_bytes_) fail("committed bytes not covered by chunks in " + path);
+  if (traces_seen != commit.trace_count) fail("trace count mismatch in " + path);
+}
+
+TraceView CorpusReader::operator[](std::size_t i) const noexcept {
+  const std::uint8_t* rec = records_[i];
+  TraceRecordHeader hdr;
+  std::memcpy(&hdr, rec, sizeof(hdr));
+  // Record starts are 8-aligned by format, so the sample area after the
+  // 16-byte header is a naturally aligned double array in the mapping.
+  const auto* samples =
+      reinterpret_cast<const double*>(rec + kTraceRecordHeaderBytes);
+  return TraceView{hdr.label,
+                   std::span<const double>(samples, static_cast<std::size_t>(hdr.sample_count))};
+}
+
+TraceView CorpusReader::at(std::size_t i) const {
+  if (i >= records_.size()) throw std::out_of_range("CorpusReader::at: index out of range");
+  return (*this)[i];
+}
+
+sca::Trace CorpusReader::materialize(std::size_t i) const {
+  const TraceView view = at(i);
+  sca::Trace t;
+  t.label = view.label;
+  t.samples.assign(view.samples.begin(), view.samples.end());
+  return t;
+}
+
+// --- merge -----------------------------------------------------------------
+
+void merge_corpora(const std::string& dest, const std::vector<std::string>& sources,
+                   WriterOptions options) {
+  CorpusWriter writer = CorpusWriter::create(dest, options);
+  for (const std::string& source : sources) {
+    const CorpusReader reader(source);
+    for (std::size_t i = 0; i < reader.size(); ++i) {
+      const TraceView view = reader[i];
+      writer.add(view.label, view.samples);
+    }
+  }
+  writer.close();
+}
+
+}  // namespace reveal::corpus

@@ -1,0 +1,142 @@
+#pragma once
+// Memory-mapped, chunked, append-only trace corpus (DESIGN.md §8).
+//
+// CorpusWriter buffers appended traces into chunks and commits each chunk
+// with the dual-slot commit pointer of corpus_format.hpp: a crash or kill
+// mid-append can never corrupt previously committed chunks — reopening
+// either sees the corpus as of the last commit (reader) or truncates the
+// torn tail and resumes from it (appender).
+//
+// CorpusReader maps the file once and serves zero-copy TraceViews: the
+// per-trace sample data is read in place from the mapping (8-byte aligned
+// by format), so iterating 10^6 traces touches no allocator and copies no
+// sample bytes. Structural validation (chunk bounds, header CRCs, record
+// bounds, plausibility caps) always runs at open; payload CRC verification
+// is on by default and can be skipped for bulk re-reads of trusted local
+// files.
+//
+// The writer is deterministic: the bytes of a corpus file are a pure
+// function of the appended trace sequence and the chunking options (no
+// timestamps, no padding junk) — merging per-shard corpora in shard order
+// therefore yields a byte-identical file for every shard count.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus_format.hpp"
+#include "corpus/mmap_file.hpp"
+#include "sca/trace.hpp"
+
+namespace reveal::corpus {
+
+/// Zero-copy view of one stored trace; `samples` points into the reader's
+/// mapping and stays valid for the reader's lifetime.
+struct TraceView {
+  std::int32_t label = 0;
+  std::span<const double> samples;
+};
+
+struct WriterOptions {
+  /// Traces buffered per chunk before an automatic commit.
+  std::size_t traces_per_chunk = 1024;
+  /// Early-commit threshold on buffered payload bytes (long traces).
+  std::size_t chunk_payload_budget = std::size_t{8} << 20;
+  /// fsync the data and the commit slot around every commit. Off by
+  /// default: the format is already safe against process kills (the page
+  /// cache is coherent for readers); fsync only adds power-loss ordering
+  /// at a large throughput cost.
+  bool fsync_commits = false;
+};
+
+class CorpusWriter {
+ public:
+  /// Creates (truncates) a fresh corpus at `path`.
+  static CorpusWriter create(const std::string& path, WriterOptions options = {});
+
+  /// Opens an existing corpus for appending: validates the header, selects
+  /// the live commit record, and truncates any torn tail past it.
+  static CorpusWriter append(const std::string& path, WriterOptions options = {});
+
+  CorpusWriter(CorpusWriter&&) noexcept;
+  CorpusWriter& operator=(CorpusWriter&&) noexcept;
+  CorpusWriter(const CorpusWriter&) = delete;
+  CorpusWriter& operator=(const CorpusWriter&) = delete;
+  ~CorpusWriter();
+
+  void add(std::int32_t label, std::span<const double> samples);
+  void add(const sca::Trace& trace) { add(trace.label, trace.samples); }
+
+  /// Commits buffered traces as one chunk (no-op when the buffer is empty).
+  void commit();
+
+  /// commit() + close the descriptor. Called by the destructor; call
+  /// explicitly to observe errors.
+  void close();
+
+  [[nodiscard]] std::uint64_t trace_count() const noexcept {
+    return committed_.trace_count + buffered_count_;
+  }
+  [[nodiscard]] std::uint64_t committed_traces() const noexcept {
+    return committed_.trace_count;
+  }
+  [[nodiscard]] std::uint64_t committed_chunks() const noexcept {
+    return committed_.chunk_count;
+  }
+  [[nodiscard]] std::uint64_t committed_bytes() const noexcept {
+    return committed_.committed_bytes;
+  }
+
+ private:
+  CorpusWriter(int fd, std::string path, WriterOptions options, CommitRecord committed);
+
+  void write_at(std::uint64_t offset, const void* data, std::size_t bytes);
+
+  int fd_ = -1;
+  std::string path_;
+  WriterOptions options_;
+  CommitRecord committed_;  ///< last durable commit (seq, bytes, counts)
+  std::vector<std::uint8_t> records_;   ///< buffered record bytes
+  std::vector<std::uint64_t> offsets_;  ///< buffered per-trace payload offsets (placeholders)
+  std::uint32_t buffered_count_ = 0;
+};
+
+struct ReaderOptions {
+  /// Verify every chunk's payload CRC at open (bit-flip detection). The
+  /// structural walk (bounds, header CRCs, caps) runs unconditionally.
+  bool verify_payload_crc = true;
+};
+
+class CorpusReader {
+ public:
+  explicit CorpusReader(const std::string& path, ReaderOptions options = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] std::uint64_t chunk_count() const noexcept { return chunk_count_; }
+  [[nodiscard]] std::uint64_t committed_bytes() const noexcept { return committed_bytes_; }
+
+  /// Zero-copy view of trace `i`; valid for the reader's lifetime.
+  [[nodiscard]] TraceView operator[](std::size_t i) const noexcept;
+  [[nodiscard]] TraceView at(std::size_t i) const;
+
+  /// Copies trace `i` into an owning sca::Trace (bridge to the analysis
+  /// APIs that take vectors).
+  [[nodiscard]] sca::Trace materialize(std::size_t i) const;
+
+ private:
+  MmapFile map_;
+  std::vector<const std::uint8_t*> records_;  ///< per-trace record pointers
+  std::uint64_t chunk_count_ = 0;
+  std::uint64_t committed_bytes_ = 0;
+};
+
+/// Appends every trace of `sources` (in the given order) into a fresh
+/// corpus at `dest`. Deterministic: the merged file's bytes depend only on
+/// the concatenated trace sequence and `options` — shard corpora covering
+/// contiguous ranges merge to the same file for every shard count.
+void merge_corpora(const std::string& dest, const std::vector<std::string>& sources,
+                   WriterOptions options = {});
+
+}  // namespace reveal::corpus

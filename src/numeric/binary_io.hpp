@@ -1,0 +1,100 @@
+#pragma once
+// Bounds-checked binary stream primitives shared by every on-disk format in
+// the toolkit (checkpoint partials, metric registries, template builders).
+//
+// The contract mirrors the hardened seal/serialization loaders: a reader
+// never sizes an allocation from an unvalidated on-disk count — every
+// vector read takes an explicit plausibility cap and throws
+// std::runtime_error on implausible counts or a short stream, so corrupt
+// or hostile input produces a clean parse error instead of an OOM.
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace reveal::num::io {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] T read_pod(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("binary_io: unexpected end of stream");
+  return value;
+}
+
+/// Writes a length-prefixed vector of trivially copyable elements.
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+/// Bytes left before EOF, or UINT64_MAX when the stream is not seekable
+/// (pipes). Used to reject declared counts no stream suffix could back
+/// before they size an allocation.
+[[nodiscard]] inline std::uint64_t remaining_bytes(std::istream& in) {
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return UINT64_MAX;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) return UINT64_MAX;
+  return static_cast<std::uint64_t>(end - pos);
+}
+
+/// Reads a length-prefixed vector, rejecting counts above `max_count` — or
+/// beyond what the stream's remaining bytes could hold — before any
+/// allocation. Callers pass a cap appropriate for the field (dimensions,
+/// bucket counts, ...) — never "unbounded".
+template <typename T>
+[[nodiscard]] std::vector<T> read_vec(std::istream& in, std::uint64_t max_count) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto count = read_pod<std::uint64_t>(in);
+  if (count > max_count || count > remaining_bytes(in) / sizeof(T))
+    throw std::runtime_error("binary_io: implausible element count");
+  std::vector<T> v(count);
+  // count <= max_count, and every cap used in this codebase keeps
+  // count * sizeof(T) far below the signed streamsize range.
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) throw std::runtime_error("binary_io: unexpected end of stream");
+  return v;
+}
+
+/// Length-prefixed string (cap guards against hostile lengths).
+inline void write_string(std::ostream& out, const std::string& s) {
+  write_pod<std::uint64_t>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+[[nodiscard]] inline std::string read_string(std::istream& in,
+                                             std::uint64_t max_length = 1u << 16) {
+  const auto length = read_pod<std::uint64_t>(in);
+  if (length > max_length || length > remaining_bytes(in))
+    throw std::runtime_error("binary_io: implausible string length");
+  std::string s(length, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(length));
+  if (!in) throw std::runtime_error("binary_io: unexpected end of stream");
+  return s;
+}
+
+/// Reads and checks a fixed marker (section framing in checkpoint files).
+inline void expect_marker(std::istream& in, std::uint32_t marker, const char* what) {
+  if (read_pod<std::uint32_t>(in) != marker)
+    throw std::runtime_error(std::string("binary_io: bad section marker for ") + what);
+}
+
+}  // namespace reveal::num::io

@@ -3,6 +3,7 @@
 // the format of the paper's Table I.
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -43,6 +44,11 @@ class ConfusionMatrix {
   [[nodiscard]] std::string to_table(std::int32_t row_lo, std::int32_t row_hi,
                                      std::int32_t col_lo, std::int32_t col_hi) const;
 
+  /// Binary snapshot of the (truth, predicted) counts; load() rebuilds the
+  /// marginals from them and bounds-checks the cell count before allocating.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static ConfusionMatrix load(std::istream& in);
+
  private:
   std::map<std::pair<std::int32_t, std::int32_t>, std::size_t> counts_;  // (truth, pred)
   std::map<std::int32_t, std::size_t> truth_totals_;
@@ -82,6 +88,10 @@ struct RecoveryReport {
   double bits = 0.0;
 
   [[nodiscard]] std::string to_string() const;
+
+  /// Field-wise equality (bitwise for the doubles): the oracle the
+  /// checkpoint/resume and shard-merge byte-identity tests compare against.
+  friend bool operator==(const RecoveryReport&, const RecoveryReport&) = default;
 };
 
 }  // namespace reveal::sca

@@ -17,6 +17,17 @@ std::size_t TraceSet::min_length() const noexcept {
 
 namespace {
 constexpr char kMagic[4] = {'R', 'V', 'L', 'T'};
+
+// Plausibility caps for on-disk counts, mirroring the kMaxElements guard in
+// seal/serialization.cpp: a corrupt or hostile file must produce a clean
+// parse error, never an unbounded allocation. Both caps are far above any
+// corpus this toolkit produces (captures run ~64 windows of ~34k samples).
+constexpr std::uint64_t kMaxTraceSamples = std::uint64_t{1} << 28;  // 2 GiB of doubles
+// Every serialized trace costs at least its record header (label + count),
+// so a declared trace count beyond remaining_bytes / kMinTraceRecordBytes
+// cannot possibly be backed by file data.
+constexpr std::uint64_t kMinTraceRecordBytes =
+    sizeof(std::int32_t) + sizeof(std::uint64_t);
 }
 
 void TraceSet::save(const std::string& path) const {
@@ -38,6 +49,11 @@ void TraceSet::save(const std::string& path) const {
 TraceSet TraceSet::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("TraceSet::load: cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const auto end_pos = in.tellg();
+  if (end_pos < 0) throw std::runtime_error("TraceSet::load: cannot stat " + path);
+  const auto file_bytes = static_cast<std::uint64_t>(end_pos);
+  in.seekg(0, std::ios::beg);
   char magic[4];
   in.read(magic, 4);
   if (!in || std::memcmp(magic, kMagic, 4) != 0)
@@ -45,6 +61,12 @@ TraceSet TraceSet::load(const std::string& path) {
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!in) throw std::runtime_error("TraceSet::load: truncated file " + path);
+  // Declared counts are validated against the bytes actually present before
+  // any allocation sized by them (division avoids the overflow a
+  // `count * record_bytes` comparison would reintroduce).
+  std::uint64_t remaining = file_bytes - (sizeof(kMagic) + sizeof(count));
+  if (count > remaining / kMinTraceRecordBytes)
+    throw std::runtime_error("TraceSet::load: truncated file " + path);
   TraceSet set;
   for (std::uint64_t i = 0; i < count; ++i) {
     Trace t;
@@ -52,10 +74,16 @@ TraceSet TraceSet::load(const std::string& path) {
     std::uint64_t n = 0;
     in.read(reinterpret_cast<char*>(&n), sizeof(n));
     if (!in) throw std::runtime_error("TraceSet::load: truncated file " + path);
+    remaining -= kMinTraceRecordBytes;
+    if (n > kMaxTraceSamples || n > remaining / sizeof(double))
+      throw std::runtime_error("TraceSet::load: truncated file " + path);
     t.samples.resize(n);
+    // n <= kMaxTraceSamples (2^28), so n * sizeof(double) <= 2^31 fits the
+    // signed streamsize without wrapping.
     in.read(reinterpret_cast<char*>(t.samples.data()),
             static_cast<std::streamsize>(n * sizeof(double)));
     if (!in) throw std::runtime_error("TraceSet::load: truncated file " + path);
+    remaining -= n * sizeof(double);
     set.add(std::move(t));
   }
   return set;

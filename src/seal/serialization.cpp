@@ -52,6 +52,9 @@ void write_u64_vector(std::ostream& out, const std::uint64_t* data, std::size_t 
 
 std::vector<std::uint64_t> read_u64_vector(std::istream& in, std::uint64_t max_count) {
   const auto count = read_raw<std::uint64_t>(in);
+  // max_count is always <= kMaxElements (2^28) at the call sites, so after
+  // this check `count * sizeof(std::uint64_t)` is <= 2^31 and the streamsize
+  // cast below cannot wrap.
   if (count > max_count)
     throw std::runtime_error("serialization: implausible element count");
   std::vector<std::uint64_t> data(count);
@@ -74,9 +77,13 @@ void save_poly_body(const Poly& poly, std::ostream& out) {
 Poly load_poly_body(std::istream& in) {
   const auto n = read_raw<std::uint64_t>(in);
   const auto k = read_raw<std::uint64_t>(in);
-  if (n == 0 || k == 0 || n * k > kMaxElements)
+  // Division form: the product guard `n * k > kMaxElements` wraps on uint64
+  // multiply (n = k = 2^33 passes yet requests a ~2^66-element Poly).
+  if (n == 0 || k == 0 || n > kMaxElements / k)
     throw std::runtime_error("serialization: implausible poly shape");
   Poly poly(n, k);
+  // n * k <= kMaxElements (2^28), so the byte count is <= 2^31 and the
+  // streamsize cast cannot wrap.
   in.read(reinterpret_cast<char*>(poly.data()),
           static_cast<std::streamsize>(n * k * sizeof(std::uint64_t)));
   if (!in) throw std::runtime_error("serialization: unexpected end of stream");

@@ -1,0 +1,348 @@
+// Checkpoint/resume and multi-process sharding byte-identity suite — the
+// acceptance contract of DESIGN.md §8: a killed-and-resumed checkpointed
+// campaign, a 1/2/4-shard campaign, and a corpus-replayed campaign all
+// produce the same final RecoveryReport, hint set, and diagnostics JSON as
+// the plain in-memory campaign over the same seed schedule, bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/acquisition.hpp"
+#include "core/attack.hpp"
+#include "core/campaign_checkpoint.hpp"
+#include "core/campaign_runner.hpp"
+#include "core/corpus_campaign.hpp"
+#include "core/shard_driver.hpp"
+#include "lwe/dbdd.hpp"
+#include "obs/diagnostics.hpp"
+
+using namespace reveal;
+using namespace reveal::core;
+
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 20260808;
+constexpr std::size_t kCaptures = 8;
+
+CampaignConfig degraded_config() {
+  CampaignConfig cfg;
+  cfg.n = 64;
+  // Mild faults so the degraded paths (low-confidence, sign-only, skipped,
+  // per-range fault counters) are all live in the identity checks.
+  cfg.faults.jitter_sigma = 0.4;
+  cfg.faults.dropout_rate = 0.02;
+  cfg.faults.glitch_count = 2;
+  return cfg;
+}
+
+lwe::DbddParams paper_params() {
+  lwe::DbddParams params;
+  params.secret_dim = 1024;
+  params.error_dim = 1024;
+  params.q = 132120577.0;
+  params.secret_variance = 3.2 * 3.2;
+  params.error_variance = 3.2 * 3.2;
+  return params;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "reveal_ckpt_" + name;
+}
+
+void expect_reports_identical(const sca::RecoveryReport& a,
+                              const sca::RecoveryReport& b) {
+  EXPECT_EQ(a.expected_windows, b.expected_windows);
+  EXPECT_EQ(a.recovered_windows, b.recovered_windows);
+  EXPECT_EQ(a.segmentation_status, b.segmentation_status);
+  EXPECT_EQ(a.segmentation_attempts, b.segmentation_attempts);
+  EXPECT_EQ(a.burst_consistency, b.burst_consistency);  // bit-equal
+  EXPECT_EQ(a.ok_guesses, b.ok_guesses);
+  EXPECT_EQ(a.low_confidence_guesses, b.low_confidence_guesses);
+  EXPECT_EQ(a.abstained_guesses, b.abstained_guesses);
+  EXPECT_EQ(a.perfect_hints, b.perfect_hints);
+  EXPECT_EQ(a.approximate_hints, b.approximate_hints);
+  EXPECT_EQ(a.sign_only_hints, b.sign_only_hints);
+  EXPECT_EQ(a.dropped_hints, b.dropped_hints);
+  EXPECT_EQ(a.bikz, b.bikz);  // bit-equal
+  EXPECT_EQ(a.bits, b.bits);  // bit-equal
+}
+
+/// Diagnostics comparison used throughout: spans are wall-clock and
+/// excluded by construction (the checkpoint/shard paths never merge
+/// tracers), so the report is built without a tracer on both sides and
+/// compared through its canonical JSON — "byte-identical diagnostics".
+std::string diag_json(const obs::Registry& registry, const sca::ConfusionMatrix& confusion) {
+  return obs::make_report(registry, nullptr, &confusion).to_json();
+}
+
+// Trains one attack for the whole suite and runs the plain in-memory
+// reference campaign every identity below is measured against.
+class CheckpointShard : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CampaignConfig clean;
+    clean.n = 64;
+    clean.num_workers = 0;
+    SamplerCampaign profiler(clean);
+    attack_ = new RevealAttack();
+    attack_->train(profiler.collect_windows(120, /*seed_base=*/1));
+
+    CampaignRunner serial(0);
+    reference_diag_ = new CampaignDiagnostics();
+    reference_ = new RecoveryCampaignResult(serial.run_recovery_campaign(
+        *attack_, degraded_config(), CampaignRunner::stream_seeds(kBaseSeed, kCaptures),
+        HintPolicy{}, paper_params(), reference_diag_));
+    ASSERT_GT(reference_->report.recovered_windows, 0u);
+  }
+  static void TearDownTestSuite() {
+    delete reference_;
+    delete reference_diag_;
+    delete attack_;
+    reference_ = nullptr;
+    reference_diag_ = nullptr;
+    attack_ = nullptr;
+  }
+
+  static void expect_matches_reference(const sca::RecoveryReport& report,
+                                       const HintSummary& totals,
+                                       const std::vector<std::vector<HintRecord>>& hints,
+                                       const obs::Registry& registry,
+                                       const sca::ConfusionMatrix& confusion) {
+    expect_reports_identical(report, reference_->report);
+    EXPECT_EQ(totals.perfect, reference_->hint_totals.perfect);
+    EXPECT_EQ(totals.approximate, reference_->hint_totals.approximate);
+    EXPECT_EQ(totals.sign_only, reference_->hint_totals.sign_only);
+    EXPECT_EQ(totals.skipped, reference_->hint_totals.skipped);
+    EXPECT_EQ(totals.mean_residual_variance,
+              reference_->hint_totals.mean_residual_variance);
+    EXPECT_EQ(hints, reference_->hints);
+    EXPECT_EQ(diag_json(registry, confusion),
+              diag_json(reference_diag_->registry, reference_diag_->confusion));
+  }
+
+  static RevealAttack* attack_;
+  static RecoveryCampaignResult* reference_;
+  static CampaignDiagnostics* reference_diag_;
+};
+
+RevealAttack* CheckpointShard::attack_ = nullptr;
+RecoveryCampaignResult* CheckpointShard::reference_ = nullptr;
+CampaignDiagnostics* CheckpointShard::reference_diag_ = nullptr;
+
+TEST_F(CheckpointShard, UninterruptedCheckpointedRunMatchesPlainCampaign) {
+  for (const std::size_t workers : {0u, 2u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    CampaignRunner runner(workers);
+    CheckpointOptions options;
+    options.path = temp_path("plain_w" + std::to_string(workers) + ".ckpt");
+    options.batch_size = 3;  // uneven final batch on purpose
+    std::remove(options.path.c_str());
+    const CheckpointedCampaignResult result = run_recovery_campaign_checkpointed(
+        runner, *attack_, degraded_config(), kBaseSeed, kCaptures, HintPolicy{},
+        paper_params(), options);
+    ASSERT_TRUE(result.complete);
+    EXPECT_FALSE(result.resumed);
+    EXPECT_EQ(result.processed_this_call, kCaptures);
+    expect_matches_reference(result.report, result.hint_totals, result.hints,
+                             result.diagnostics.registry, result.diagnostics.confusion);
+    std::ifstream leftover(options.path);
+    EXPECT_FALSE(leftover.good());  // checkpoint removed on completion
+  }
+}
+
+TEST_F(CheckpointShard, KillAndResumeIsByteIdentical) {
+  // Simulated kill: each call may only run one batch, then "dies"; a fresh
+  // call (fresh runner — nothing survives but the checkpoint file) resumes.
+  CheckpointOptions options;
+  options.path = temp_path("kill_resume.ckpt");
+  options.batch_size = 3;
+  options.max_batches_per_call = 1;
+  std::remove(options.path.c_str());
+
+  std::size_t calls = 0;
+  CheckpointedCampaignResult result;
+  do {
+    CampaignRunner runner(calls % 2 == 0 ? 0 : 2);  // worker count varies too
+    result = run_recovery_campaign_checkpointed(runner, *attack_, degraded_config(),
+                                                kBaseSeed, kCaptures, HintPolicy{},
+                                                paper_params(), options);
+    ++calls;
+    ASSERT_LE(calls, kCaptures + 1) << "resume made no progress";
+    if (!result.complete) {
+      EXPECT_EQ(result.processed_this_call, std::min<std::uint64_t>(3, kCaptures));
+      EXPECT_EQ(result.resumed, calls > 1);
+    }
+  } while (!result.complete);
+  EXPECT_EQ(calls, (kCaptures + 2) / 3);
+  expect_matches_reference(result.report, result.hint_totals, result.hints,
+                           result.diagnostics.registry, result.diagnostics.confusion);
+}
+
+TEST_F(CheckpointShard, BatchSizeDoesNotChangeAnyOutputByte) {
+  for (const std::size_t batch : {1u, 5u, 64u}) {
+    SCOPED_TRACE("batch=" + std::to_string(batch));
+    CampaignRunner runner(0);
+    CheckpointOptions options;
+    options.path = temp_path("batch" + std::to_string(batch) + ".ckpt");
+    options.batch_size = batch;
+    std::remove(options.path.c_str());
+    const CheckpointedCampaignResult result = run_recovery_campaign_checkpointed(
+        runner, *attack_, degraded_config(), kBaseSeed, kCaptures, HintPolicy{},
+        paper_params(), options);
+    ASSERT_TRUE(result.complete);
+    expect_matches_reference(result.report, result.hint_totals, result.hints,
+                             result.diagnostics.registry, result.diagnostics.confusion);
+  }
+}
+
+TEST_F(CheckpointShard, StaleCheckpointFromAnotherScheduleIsRejected) {
+  CheckpointOptions options;
+  options.path = temp_path("stale.ckpt");
+  options.batch_size = 3;
+  options.max_batches_per_call = 1;  // leave a checkpoint behind
+  std::remove(options.path.c_str());
+  CampaignRunner runner(0);
+  const CheckpointedCampaignResult partial = run_recovery_campaign_checkpointed(
+      runner, *attack_, degraded_config(), kBaseSeed, kCaptures, HintPolicy{},
+      paper_params(), options);
+  ASSERT_FALSE(partial.complete);
+
+  // Same path, different base seed -> digest mismatch, loud failure.
+  EXPECT_THROW((void)run_recovery_campaign_checkpointed(
+                   runner, *attack_, degraded_config(), kBaseSeed + 1, kCaptures,
+                   HintPolicy{}, paper_params(), options),
+               std::runtime_error);
+  // Different capture-shaping config too.
+  CampaignConfig other = degraded_config();
+  other.faults.glitch_count = 0;
+  EXPECT_THROW((void)run_recovery_campaign_checkpointed(runner, *attack_, other,
+                                                        kBaseSeed, kCaptures,
+                                                        HintPolicy{}, paper_params(),
+                                                        options),
+               std::runtime_error);
+  std::remove(options.path.c_str());
+}
+
+TEST(ShardRange, CeilSplitCoversTheScheduleContiguously) {
+  for (const std::uint64_t total : {0u, 1u, 7u, 8u, 9u, 100u}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 4u, 13u}) {
+      std::uint64_t cursor = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto [begin, end] = shard_range(total, shards, s);
+        EXPECT_EQ(begin, cursor);
+        EXPECT_LE(end, total);
+        EXPECT_GE(end, begin);
+        cursor = end;
+      }
+      EXPECT_EQ(cursor, total) << "total=" << total << " shards=" << shards;
+    }
+  }
+  EXPECT_THROW((void)shard_range(10, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)shard_range(10, 2, 2), std::out_of_range);
+}
+
+TEST_F(CheckpointShard, ShardCountDoesNotChangeAnyOutputByte) {
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ShardOptions options;
+    options.shards = shards;
+    options.work_dir = ::testing::TempDir();
+    options.workers_per_shard = shards == 2 ? 2 : 0;  // mix worker counts in
+    options.in_process = true;
+    const ShardedCampaignResult result =
+        run_sharded_campaign(*attack_, degraded_config(), kBaseSeed, kCaptures,
+                             HintPolicy{}, paper_params(), options);
+    expect_matches_reference(result.report, result.hint_totals, result.hints,
+                             result.diagnostics.registry, result.diagnostics.confusion);
+  }
+}
+
+TEST_F(CheckpointShard, ForkedShardsMatchInProcessShards) {
+#ifdef REVEAL_FORCE_IN_PROCESS_SHARDS
+  GTEST_SKIP() << "fork-based sharding is disabled under this sanitizer config";
+#else
+  ShardOptions options;
+  options.shards = 2;
+  options.work_dir = ::testing::TempDir();
+  options.workers_per_shard = 0;  // children stay single-threaded
+  options.in_process = false;
+  const ShardedCampaignResult result =
+      run_sharded_campaign(*attack_, degraded_config(), kBaseSeed, kCaptures,
+                           HintPolicy{}, paper_params(), options);
+  expect_matches_reference(result.report, result.hint_totals, result.hints,
+                           result.diagnostics.registry, result.diagnostics.confusion);
+#endif
+}
+
+TEST_F(CheckpointShard, CorpusReplayMatchesLiveCampaign) {
+  // Capture the schedule into a corpus, then run the recovery campaign off
+  // the stored traces: per-capture outputs must match the live campaign
+  // (the corpus path has no acquisition-side diagnostics, so the identity
+  // here is captures + hints + report, not the registry).
+  const std::string path = temp_path("replay.rvlc");
+  const CampaignConfig cfg = degraded_config();
+  {
+    CampaignRunner runner(2);
+    corpus::CorpusWriter writer = corpus::CorpusWriter::create(path);
+    append_campaign_captures(writer, runner, cfg,
+                             CampaignRunner::stream_seeds(kBaseSeed, kCaptures));
+    writer.close();
+  }
+  corpus::CorpusReader corpus(path);
+  ASSERT_EQ(corpus.size(), kCaptures);
+
+  for (const std::size_t workers : {0u, 2u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    CampaignRunner runner(workers);
+    const RecoveryCampaignResult result = run_recovery_campaign_on_corpus(
+        runner, *attack_, corpus, cfg.n, cfg.segmentation, HintPolicy{},
+        paper_params());
+    expect_reports_identical(result.report, reference_->report);
+    EXPECT_EQ(result.hints, reference_->hints);
+    ASSERT_EQ(result.captures.size(), reference_->captures.size());
+    for (std::size_t i = 0; i < result.captures.size(); ++i) {
+      EXPECT_EQ(result.captures[i].segmentation.status,
+                reference_->captures[i].segmentation.status);
+      EXPECT_EQ(result.captures[i].segmentation.burst_consistency,
+                reference_->captures[i].segmentation.burst_consistency);
+      ASSERT_EQ(result.captures[i].guesses.size(), reference_->captures[i].guesses.size());
+    }
+  }
+}
+
+TEST_F(CheckpointShard, ShardedCorpusIsByteIdenticalForEveryShardCount) {
+  const CampaignConfig cfg = degraded_config();
+  std::vector<std::string> built;
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    ShardOptions options;
+    options.shards = shards;
+    options.work_dir = ::testing::TempDir();
+    options.in_process = true;
+    const std::string dest = temp_path("sharded_" + std::to_string(shards) + ".rvlc");
+    build_sharded_corpus(dest, cfg, kBaseSeed, kCaptures, options);
+    built.push_back(dest);
+  }
+  auto read_all = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string reference_bytes = read_all(built[0]);
+  ASSERT_FALSE(reference_bytes.empty());
+  for (std::size_t i = 1; i < built.size(); ++i) {
+    EXPECT_EQ(read_all(built[i]), reference_bytes) << built[i];
+  }
+  // And the labels are the global capture indices, shard-count independent.
+  corpus::CorpusReader reader(built.back());
+  ASSERT_EQ(reader.size(), kCaptures);
+  for (std::size_t i = 0; i < kCaptures; ++i)
+    EXPECT_EQ(reader[i].label, static_cast<std::int32_t>(i));
+}
+
+}  // namespace
